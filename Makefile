@@ -1,0 +1,31 @@
+# Build, test, and experiment targets for the adaptive-objects reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/adaptivesync/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+experiments: build
+	$(GO) run ./cmd/lockbench
+	$(GO) run ./cmd/tspbench -patterns -scaling
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

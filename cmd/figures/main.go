@@ -1,0 +1,114 @@
+// Command figures regenerates the paper's Figure 1 (combined-lock
+// critical-section sweep) and the extension experiments: the lock
+// scheduler comparison, the spin-vs-block multiprogramming crossover, and
+// the adaptation-policy constant ablation.
+//
+// Usage:
+//
+//	figures [-fig 1|sched|crossover|ablation|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
+	flag.Parse()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	printed := false
+
+	if want("1") {
+		rows, err := experiments.Figure1(experiments.Figure1Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderFigure1(rows))
+		printed = true
+	}
+	if want("sched") {
+		rows, err := experiments.SchedulerComparison(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderSchedulerComparison(rows))
+		printed = true
+	}
+	if want("crossover") {
+		rows, err := experiments.SpinVsBlockCrossover(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCrossover(rows))
+		printed = true
+	}
+	if want("advisory") {
+		rows, err := experiments.AdvisoryComparison(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderAdvisory(rows))
+		printed = true
+	}
+	if want("retarget") {
+		rows, err := experiments.LockRetargeting(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderRetargeting(rows))
+		printed = true
+	}
+	if want("coupling") {
+		rows, err := experiments.CouplingComparison(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCoupling(rows))
+		printed = true
+	}
+	if want("platform") {
+		rows, err := experiments.PlatformRetargeting()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderPlatforms(rows))
+		printed = true
+	}
+	if want("sor") {
+		rows, err := experiments.SORComparison(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderSOR(rows))
+		printed = true
+	}
+	if want("barrier") {
+		rows, err := experiments.BarrierComparison()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderBarriers(rows))
+		printed = true
+	}
+	if want("ablation") {
+		rows, err := experiments.PolicyAblation(sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderAblation(rows))
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all)\n", *fig)
+		os.Exit(2)
+	}
+}

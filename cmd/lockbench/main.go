@@ -1,0 +1,73 @@
+// Command lockbench regenerates the paper's lock microbenchmark tables
+// (§5.2, Tables 4–8) on the simulated BBN Butterfly GP1000.
+//
+// Usage:
+//
+//	lockbench [-table 4|5|6|7|8|all] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lockbench: ")
+	table := flag.String("table", "all", "table to regenerate: 4, 5, 6, 7, 8, or all")
+	iters := flag.Int("iters", 16, "repetitions per measured operation")
+	flag.Parse()
+
+	opts := experiments.Options{Iters: *iters}
+	want := func(t string) bool { return *table == "all" || *table == t }
+	printed := false
+
+	if want("4") {
+		rows, err := experiments.Table4(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderLockOpTable("Table 4: Cost of the Lock operation for different locks", rows))
+		printed = true
+	}
+	if want("5") {
+		rows, err := experiments.Table5(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderLockOpTable("Table 5: Cost of the Unlock operation for different locks", rows))
+		printed = true
+	}
+	if want("6") {
+		rows, err := experiments.Table6(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCycleTable("Table 6: Cost of successive Unlock and Lock operation on an already locked lock", rows))
+		printed = true
+	}
+	if want("7") {
+		rows, err := experiments.Table7(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCycleTable("Table 7: Cost of successive Unlock and Lock operation on an already locked adaptive lock", rows))
+		printed = true
+	}
+	if want("8") {
+		rows, err := experiments.Table8(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderTable8(rows))
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "lockbench: unknown -table %q (want 4, 5, 6, 7, 8, or all)\n", *table)
+		os.Exit(2)
+	}
+}

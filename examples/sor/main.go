@@ -1,0 +1,64 @@
+// SOR example: the massively parallel application of the paper's §7
+// follow-on study. A heat plate is relaxed by 8 workers; the sweep
+// barriers and the residual lock are both adaptive objects, and the run
+// is compared across scheduling regimes.
+//
+//	go run ./examples/sor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/sor"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	p := sor.Problem{N: 32, Tol: 1e-2}
+	serial, err := sor.SolveSerial(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial: %d sweeps to residual %.2e (%d cell updates)\n\n",
+		serial.Sweeps, serial.Residual, serial.Cells)
+
+	fmt.Printf("%-22s %-10s %-12s %s\n", "configuration", "sweeps", "elapsed", "utilization")
+	for _, cfg := range []struct {
+		name    string
+		procs   int
+		barrier string
+		quantum sim.Time
+	}{
+		{"8 procs, sleep barrier", 8, "sleep", 0},
+		{"8 procs, spin barrier", 8, "spin", 0},
+		{"8 procs, adaptive", 8, "adaptive", 0},
+		{"4 procs, sleep barrier", 4, "sleep", 500 * sim.Microsecond},
+		{"4 procs, spin barrier", 4, "spin", 500 * sim.Microsecond},
+		{"4 procs, adaptive", 4, "adaptive", 500 * sim.Microsecond},
+	} {
+		res, err := sor.Solve(sor.Config{
+			Problem:     p,
+			Workers:     8,
+			Procs:       cfg.procs,
+			LockKind:    locks.KindAdaptive,
+			BarrierKind: cfg.barrier,
+			Machine:     sim.Config{Quantum: cfg.quantum},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Sweeps != serial.Sweeps {
+			log.Fatalf("parallel sweeps %d != serial %d", res.Sweeps, serial.Sweeps)
+		}
+		fmt.Printf("%-22s %-10d %-12s %.0f%%\n", cfg.name, res.Sweeps, res.Elapsed, 100*res.Utilization)
+	}
+
+	fmt.Println("\nThe adaptive barrier senses whether arrivals have co-runnable")
+	fmt.Println("threads on their processors: with private processors it converges")
+	fmt.Println("to polling (matching the spin barrier), multiprogrammed it takes a")
+	fmt.Println("short grace poll and sleeps (beating both static barriers).")
+}

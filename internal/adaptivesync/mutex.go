@@ -1,0 +1,164 @@
+// Package adaptivesync instantiates the paper's adaptive-object model on
+// real Go concurrency: a mutual-exclusion lock whose waiting policy —
+// how many times a contender spins before parking — is retuned at run time
+// by the paper's simple adaptation policy from a built-in monitor of the
+// waiter count, sampled on every other unlock (§4, §5).
+//
+// It is the "closely-coupled adaptation in other operating system
+// components" direction of the paper's §7, demonstrated outside the
+// simulator. Note the caveat from this reproduction's calibration: the Go
+// runtime scheduler multiplexes goroutines over OS threads, so "spinning"
+// here does not pin a processor the way it does on the simulated machine —
+// the adaptation still tracks contention, but the quantitative trade-off
+// belongs to the simulator experiments.
+package adaptivesync
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Sensor and attribute names of the mutex's adaptive object.
+const (
+	AttrSpin      = "spin-time"
+	SensorWaiting = "no-of-waiting-threads"
+)
+
+// DefaultMaxSpin caps the spin attribute (the pure-spin configuration).
+const DefaultMaxSpin = 256
+
+// Mutex is an adaptive mutual-exclusion lock: contenders spin up to the
+// current spin-time attribute, then park. The zero value is NOT ready to
+// use; call New.
+type Mutex struct {
+	state   atomic.Int32 // 0 free, 1 held
+	waiters atomic.Int32
+	unlocks atomic.Uint64
+
+	// sema is a buffered token channel acting as the parking lot: Unlock
+	// deposits one token per wakeup; parked waiters consume them.
+	sema chan struct{}
+
+	// obj is the adaptive object: spin attribute + monitor + policy. Its
+	// structures are not thread-safe, so they are consulted through
+	// atomic mirrors (spin) and mutated only under adaptMu.
+	obj     *core.Object
+	spin    atomic.Int64
+	adaptMu sync.Mutex
+
+	stats Stats
+}
+
+// Stats counts mutex activity (approximate under concurrency: counters
+// are atomic but not mutually consistent).
+type Stats struct {
+	Acquisitions uint64
+	Parks        uint64
+	Samples      uint64
+}
+
+// New builds an adaptive mutex with the given policy; nil installs the
+// paper's SimpleAdapt with defaults scaled for spinning goroutines.
+func New(policy core.Policy) *Mutex {
+	m := &Mutex{sema: make(chan struct{}, 1<<20)}
+	m.obj = core.NewObject("adaptivesync.Mutex")
+	m.obj.Attrs.Define(AttrSpin, 32, true)
+	m.spin.Store(32)
+	m.obj.Monitor.AddSensor(SensorWaiting, 2, func() int64 {
+		return int64(m.waiters.Load())
+	})
+	if policy == nil {
+		policy = core.SimpleAdapt{
+			SpinAttr:         AttrSpin,
+			WaitingThreshold: 2,
+			Step:             16,
+			MaxSpin:          DefaultMaxSpin,
+		}
+	}
+	m.obj.SetPolicy(policy)
+	return m
+}
+
+// Object exposes the underlying adaptive object for inspection (the
+// returned structure must only be mutated while the program is otherwise
+// quiescent).
+func (m *Mutex) Object() *core.Object { return m.obj }
+
+// SpinTime reports the current spin attribute.
+func (m *Mutex) SpinTime() int64 { return m.spin.Load() }
+
+// StatsSnapshot returns current counters.
+func (m *Mutex) StatsSnapshot() Stats {
+	return Stats{
+		Acquisitions: atomic.LoadUint64(&m.stats.Acquisitions),
+		Parks:        atomic.LoadUint64(&m.stats.Parks),
+		Samples:      atomic.LoadUint64(&m.stats.Samples),
+	}
+}
+
+// Lock acquires the mutex: spin up to the current spin-time, then park
+// until Unlock deposits a wakeup token, re-contending after each wakeup
+// (barging is allowed, as in the simulator's combined locks).
+func (m *Mutex) Lock() {
+	if m.state.CompareAndSwap(0, 1) {
+		atomic.AddUint64(&m.stats.Acquisitions, 1)
+		return
+	}
+	spin := m.spin.Load()
+	for {
+		for i := int64(0); i < spin; i++ {
+			if m.state.CompareAndSwap(0, 1) {
+				atomic.AddUint64(&m.stats.Acquisitions, 1)
+				return
+			}
+		}
+		// Out of spins: register and park. Re-test after registering so a
+		// release that missed our registration cannot strand us.
+		m.waiters.Add(1)
+		if m.state.CompareAndSwap(0, 1) {
+			m.waiters.Add(-1)
+			atomic.AddUint64(&m.stats.Acquisitions, 1)
+			return
+		}
+		atomic.AddUint64(&m.stats.Parks, 1)
+		<-m.sema
+		m.waiters.Add(-1)
+		spin = m.spin.Load()
+	}
+}
+
+// TryLock acquires the mutex without waiting; it reports success.
+func (m *Mutex) TryLock() bool {
+	if m.state.CompareAndSwap(0, 1) {
+		atomic.AddUint64(&m.stats.Acquisitions, 1)
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex, wakes one parked waiter if any, and probes
+// the built-in monitor (every other unlock), feeding the adaptation
+// policy. Unlocking a free mutex panics.
+func (m *Mutex) Unlock() {
+	if !m.state.CompareAndSwap(1, 0) {
+		panic("adaptivesync: Unlock of unlocked Mutex")
+	}
+	if m.waiters.Load() > 0 {
+		select {
+		case m.sema <- struct{}{}:
+		default:
+		}
+	}
+	// The customized monitor: collected inline by the unlocking
+	// goroutine, closely coupled with the policy. The sensor's sampling
+	// rate (every other probe) throttles the actual sampling.
+	m.unlocks.Add(1)
+	m.adaptMu.Lock()
+	if _, ok := m.obj.Monitor.Probe(SensorWaiting); ok {
+		atomic.AddUint64(&m.stats.Samples, 1)
+		m.spin.Store(m.obj.Attrs.MustGet(AttrSpin))
+	}
+	m.adaptMu.Unlock()
+}

@@ -1,0 +1,155 @@
+package adaptivesync
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// RWMutex is a reader-writer lock whose *read-path* waiting policy adapts:
+// readers blocked by a writer spin up to the spin-time attribute before
+// parking, retuned by the same monitor/policy structure as Mutex. Writers
+// always queue through an internal mutex (writes are assumed rare; the
+// adaptive question is how readers should wait out a writer).
+//
+// It is a second real-concurrency instantiation of the paper's model,
+// showing the adaptive-object parts compose onto a different lock
+// protocol without modification.
+type RWMutex struct {
+	// state counts readers (≥ 0) or marks a writer (-1).
+	state   atomic.Int32
+	waiters atomic.Int32
+	sema    chan struct{}
+	wmu     sync.Mutex // serializes writers
+
+	obj     *core.Object
+	spin    atomic.Int64
+	adaptMu sync.Mutex
+}
+
+// NewRW builds an adaptive reader-writer lock; nil installs the default
+// SimpleAdapt policy on the reader spin attribute.
+func NewRW(policy core.Policy) *RWMutex {
+	m := &RWMutex{sema: make(chan struct{}, 1<<20)}
+	m.obj = core.NewObject("adaptivesync.RWMutex")
+	m.obj.Attrs.Define(AttrSpin, 32, true)
+	m.spin.Store(32)
+	m.obj.Monitor.AddSensor(SensorWaiting, 2, func() int64 {
+		return int64(m.waiters.Load())
+	})
+	if policy == nil {
+		policy = core.SimpleAdapt{
+			SpinAttr:         AttrSpin,
+			WaitingThreshold: 2,
+			Step:             16,
+			MaxSpin:          DefaultMaxSpin,
+		}
+	}
+	m.obj.SetPolicy(policy)
+	return m
+}
+
+// Object exposes the underlying adaptive object.
+func (m *RWMutex) Object() *core.Object { return m.obj }
+
+// SpinTime reports the current reader spin attribute.
+func (m *RWMutex) SpinTime() int64 { return m.spin.Load() }
+
+// RLock acquires the lock for reading: spin up to spin-time attempts
+// while a writer holds it, then park.
+func (m *RWMutex) RLock() {
+	if m.tryRead() {
+		return
+	}
+	spin := m.spin.Load()
+	for {
+		for i := int64(0); i < spin; i++ {
+			if m.tryRead() {
+				return
+			}
+		}
+		m.waiters.Add(1)
+		if m.tryRead() {
+			m.waiters.Add(-1)
+			return
+		}
+		<-m.sema
+		m.waiters.Add(-1)
+		spin = m.spin.Load()
+	}
+}
+
+// tryRead increments the reader count unless a writer holds the lock.
+func (m *RWMutex) tryRead() bool {
+	for {
+		s := m.state.Load()
+		if s < 0 {
+			return false
+		}
+		if m.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// RUnlock releases a read acquisition and wakes waiters (a writer may be
+// parked behind the readers).
+func (m *RWMutex) RUnlock() {
+	if s := m.state.Add(-1); s < 0 {
+		panic("adaptivesync: RUnlock without RLock")
+	}
+	m.wakeOne()
+}
+
+// Lock acquires the lock for writing: writers serialize on wmu, then spin
+// briefly and park until the reader count drains.
+func (m *RWMutex) Lock() {
+	m.wmu.Lock()
+	spin := m.spin.Load()
+	for {
+		for i := int64(0); i < spin+1; i++ {
+			if m.state.CompareAndSwap(0, -1) {
+				return
+			}
+		}
+		m.waiters.Add(1)
+		if m.state.CompareAndSwap(0, -1) {
+			m.waiters.Add(-1)
+			return
+		}
+		<-m.sema
+		m.waiters.Add(-1)
+		spin = m.spin.Load()
+	}
+}
+
+// Unlock releases a write acquisition, wakes waiters, and probes the
+// monitor (the write path is the low-frequency point where sampling the
+// waiter count is cheap).
+func (m *RWMutex) Unlock() {
+	if !m.state.CompareAndSwap(-1, 0) {
+		panic("adaptivesync: Unlock of RWMutex not held for writing")
+	}
+	// Wake every waiter: after a writer, all blocked readers may proceed.
+	for i := m.waiters.Load(); i > 0; i-- {
+		m.wakeOne()
+	}
+	m.wmu.Unlock()
+
+	m.adaptMu.Lock()
+	if _, ok := m.obj.Monitor.Probe(SensorWaiting); ok {
+		m.spin.Store(m.obj.Attrs.MustGet(AttrSpin))
+	}
+	m.adaptMu.Unlock()
+}
+
+// wakeOne deposits one wakeup token if anyone is parked.
+func (m *RWMutex) wakeOne() {
+	if m.waiters.Load() > 0 {
+		select {
+		case m.sema <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package adaptivesync
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWReadersShareWritersExclude(t *testing.T) {
+	m := NewRW(nil)
+	var readers, maxReaders, writers atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				m.RLock()
+				r := readers.Add(1)
+				for {
+					old := maxReaders.Load()
+					if r <= old || maxReaders.CompareAndSwap(old, r) {
+						break
+					}
+				}
+				if writers.Load() != 0 {
+					t.Error("reader inside while writer holds")
+				}
+				runtime.Gosched() // dwell so readers demonstrably overlap
+				readers.Add(-1)
+				m.RUnlock()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Lock()
+				if writers.Add(1) != 1 {
+					t.Error("two writers inside")
+				}
+				if readers.Load() != 0 {
+					t.Error("writer inside with readers present")
+				}
+				time.Sleep(10 * time.Microsecond)
+				writers.Add(-1)
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxReaders.Load() < 2 {
+		t.Errorf("max concurrent readers = %d; reader sharing never happened", maxReaders.Load())
+	}
+}
+
+func TestRWWriterCounterExactness(t *testing.T) {
+	m := NewRW(nil)
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 4000 {
+		t.Fatalf("counter = %d, want 4000", counter)
+	}
+}
+
+func TestRWMisusePanics(t *testing.T) {
+	m := NewRW(nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RUnlock without RLock did not panic")
+			}
+		}()
+		m.RUnlock()
+	}()
+	m2 := NewRW(nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock without Lock did not panic")
+			}
+		}()
+		m2.Unlock()
+	}()
+}
+
+func TestRWAdaptsSpinUnderWriteQuiet(t *testing.T) {
+	m := NewRW(nil)
+	for i := 0; i < 64; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+	if got := m.SpinTime(); got != DefaultMaxSpin {
+		t.Fatalf("uncontended RW spin-time = %d, want MaxSpin %d", got, DefaultMaxSpin)
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+// This file provides a small library of adaptation policies beyond the
+// paper's SimpleAdapt. The paper treats policies as user-provided (§3);
+// these address the tuning issues it raises — information overload,
+// oscillation, and its §7 future-work item of adapting lock *schedulers*
+// in different computation phases.
+
+// EWMA wraps another policy, feeding it an exponentially-weighted moving
+// average of the sensed values instead of raw samples. It trades reaction
+// speed for stability — the §3 "quality of adaptation" knob.
+type EWMA struct {
+	// Alpha is the new-sample weight numerator: avg ← (Alpha·v +
+	// (Den-Alpha)·avg) / Den. Integer arithmetic keeps the policy cheap
+	// enough to run inline.
+	Alpha, Den int64
+	// Inner receives the smoothed samples.
+	Inner Policy
+
+	initialized bool
+	avg         int64
+}
+
+// React implements Policy.
+func (p *EWMA) React(s Sample, o *Object) []Decision {
+	if p.Den <= 0 || p.Alpha <= 0 || p.Alpha > p.Den {
+		// Degenerate configuration: pass through.
+		return p.Inner.React(s, o)
+	}
+	if !p.initialized {
+		p.initialized = true
+		p.avg = s.Value
+	} else {
+		p.avg = (p.Alpha*s.Value + (p.Den-p.Alpha)*p.avg) / p.Den
+	}
+	smoothed := s
+	smoothed.Value = p.avg
+	return p.Inner.React(smoothed, o)
+}
+
+// Hysteresis wraps another policy and suppresses its decisions unless at
+// least MinSamples samples have passed since the last applied change —
+// damping the oscillation a closely-coupled loop can exhibit when the
+// monitored signal flaps.
+type Hysteresis struct {
+	MinSamples uint64
+	Inner      Policy
+
+	sinceChange uint64
+}
+
+// React implements Policy.
+func (p *Hysteresis) React(s Sample, o *Object) []Decision {
+	ds := p.Inner.React(s, o)
+	p.sinceChange++
+	if len(ds) == 0 {
+		return nil
+	}
+	if p.sinceChange <= p.MinSamples {
+		return nil
+	}
+	p.sinceChange = 0
+	return ds
+}
+
+// Composite runs several policies on every sample and concatenates their
+// decisions (e.g. a waiting-policy adapter plus a scheduler adapter).
+type Composite []Policy
+
+// React implements Policy.
+func (p Composite) React(s Sample, o *Object) []Decision {
+	var out []Decision
+	for _, inner := range p {
+		out = append(out, inner.React(s, o)...)
+	}
+	return out
+}
+
+// SchedulerAdapt is the §7 future-work policy: it reconfigures a lock's
+// scheduler method between computation phases. With few waiters the queue
+// order is irrelevant and the cheap FCFS release component suffices; when
+// the queue grows past QueueThreshold, ordering matters and the priority
+// variant is installed so urgent threads are served first.
+type SchedulerAdapt struct {
+	// Method is the reconfigurable method name (locks.MethodScheduler).
+	Method string
+	// Calm and Busy are the variants for the two regimes (typically
+	// "fcfs" and "priority").
+	Calm, Busy string
+	// QueueThreshold is the waiting count at which Busy is installed.
+	QueueThreshold int64
+}
+
+// React implements Policy.
+func (p SchedulerAdapt) React(s Sample, o *Object) []Decision {
+	cur, err := o.Methods.Installed(p.Method)
+	if err != nil {
+		return nil
+	}
+	want := p.Calm
+	if s.Value > p.QueueThreshold {
+		want = p.Busy
+	}
+	if want == cur {
+		return nil
+	}
+	return []Decision{{Method: p.Method, Variant: want}}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recordingPolicy captures the samples it receives and emits one decision
+// per sample.
+type recordingPolicy struct {
+	values []int64
+	emit   bool
+}
+
+func (p *recordingPolicy) React(s Sample, o *Object) []Decision {
+	p.values = append(p.values, s.Value)
+	if !p.emit {
+		return nil
+	}
+	return []Decision{{Attr: "x", Value: s.Value}}
+}
+
+func newPolicyObject() *Object {
+	o := NewObject("t")
+	o.Attrs.Define("x", 0, true)
+	return o
+}
+
+func TestEWMASmooths(t *testing.T) {
+	rec := &recordingPolicy{}
+	p := &EWMA{Alpha: 1, Den: 4, Inner: rec}
+	o := newPolicyObject()
+	for _, v := range []int64{100, 0, 0, 0} {
+		p.React(Sample{Value: v}, o)
+	}
+	// First sample initializes the average; later zeros decay it.
+	if rec.values[0] != 100 {
+		t.Fatalf("first smoothed value = %d, want 100", rec.values[0])
+	}
+	for i := 1; i < len(rec.values); i++ {
+		if rec.values[i] >= rec.values[i-1] {
+			t.Fatalf("smoothed values not decaying: %v", rec.values)
+		}
+	}
+	if rec.values[3] == 0 {
+		t.Fatalf("EWMA reached 0 too fast: %v", rec.values)
+	}
+}
+
+func TestEWMADegenerateConfigPassesThrough(t *testing.T) {
+	rec := &recordingPolicy{}
+	p := &EWMA{Alpha: 0, Den: 0, Inner: rec}
+	o := newPolicyObject()
+	p.React(Sample{Value: 42}, o)
+	if rec.values[0] != 42 {
+		t.Fatalf("degenerate EWMA altered the sample: %v", rec.values)
+	}
+}
+
+func TestHysteresisSuppressesFlapping(t *testing.T) {
+	rec := &recordingPolicy{emit: true}
+	p := &Hysteresis{MinSamples: 3, Inner: rec}
+	o := newPolicyObject()
+	applied := 0
+	for i := 0; i < 12; i++ {
+		for _, d := range p.React(Sample{Value: int64(i)}, o) {
+			if err := o.Apply(d, OwnerSelf); err == nil {
+				applied++
+			}
+		}
+	}
+	// Changes pass at most every MinSamples+1 samples: 12 samples → ≤ 3.
+	if applied == 0 || applied > 3 {
+		t.Fatalf("applied = %d, want 1..3", applied)
+	}
+}
+
+func TestHysteresisDoesNotResetOnQuietInner(t *testing.T) {
+	rec := &recordingPolicy{emit: false}
+	p := &Hysteresis{MinSamples: 2, Inner: rec}
+	o := newPolicyObject()
+	for i := 0; i < 5; i++ {
+		if ds := p.React(Sample{Value: 1}, o); len(ds) != 0 {
+			t.Fatal("decisions from a quiet inner policy")
+		}
+	}
+	// Now the inner emits; enough samples have passed, so it goes through
+	// immediately.
+	rec.emit = true
+	if ds := p.React(Sample{Value: 1}, o); len(ds) != 1 {
+		t.Fatalf("decision suppressed despite long quiet period (%d)", len(ds))
+	}
+}
+
+func TestCompositeConcatenates(t *testing.T) {
+	a := &recordingPolicy{emit: true}
+	b := &recordingPolicy{emit: true}
+	p := Composite{a, b}
+	o := newPolicyObject()
+	ds := p.React(Sample{Value: 5}, o)
+	if len(ds) != 2 {
+		t.Fatalf("composite emitted %d decisions, want 2", len(ds))
+	}
+	if len(a.values) != 1 || len(b.values) != 1 {
+		t.Fatal("composite did not feed every inner policy")
+	}
+}
+
+func TestSchedulerAdaptSwitchesVariants(t *testing.T) {
+	o := NewObject("lock")
+	o.Methods.Define("scheduler", 3, "fcfs", "priority")
+	p := SchedulerAdapt{Method: "scheduler", Calm: "fcfs", Busy: "priority", QueueThreshold: 3}
+	o.SetPolicy(p)
+	o.Monitor.AddSensor("w", 1, nil)
+
+	apply := func(v int64) {
+		for _, d := range p.React(Sample{Value: v}, o) {
+			if err := o.Apply(d, OwnerSelf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(1)
+	if v, _ := o.Methods.Installed("scheduler"); v != "fcfs" {
+		t.Fatalf("calm: installed %q, want fcfs", v)
+	}
+	apply(10)
+	if v, _ := o.Methods.Installed("scheduler"); v != "priority" {
+		t.Fatalf("busy: installed %q, want priority", v)
+	}
+	// No redundant decision when already in the right variant.
+	if ds := p.React(Sample{Value: 10}, o); len(ds) != 0 {
+		t.Fatalf("redundant decision emitted: %v", ds)
+	}
+	apply(0)
+	if v, _ := o.Methods.Installed("scheduler"); v != "fcfs" {
+		t.Fatalf("calm again: installed %q, want fcfs", v)
+	}
+}
+
+func TestSchedulerAdaptUnknownMethodIsNoop(t *testing.T) {
+	o := NewObject("lock")
+	p := SchedulerAdapt{Method: "ghost", Calm: "a", Busy: "b", QueueThreshold: 1}
+	if ds := p.React(Sample{Value: 100}, o); ds != nil {
+		t.Fatalf("decisions for unknown method: %v", ds)
+	}
+}
+
+// Property: EWMA output always stays within the min/max envelope of the
+// inputs seen so far.
+func TestEWMAEnvelopeProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		rec := &recordingPolicy{}
+		p := &EWMA{Alpha: 1, Den: 3, Inner: rec}
+		o := newPolicyObject()
+		min, max := int64(vals[0]), int64(vals[0])
+		for _, v := range vals {
+			x := int64(v)
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			p.React(Sample{Value: x}, o)
+		}
+		for _, s := range rec.values {
+			if s < min || s > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

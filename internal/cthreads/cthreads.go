@@ -1,0 +1,164 @@
+// Package cthreads is a user-level thread package in the style of the
+// multiprocessor Cthreads library [Muk91] the paper builds on, running on
+// the simulated NUMA machine of internal/sim.
+//
+// Threads are forked onto a specific processor and stay there (the paper
+// pins its TSP searchers one per processor; its Figure 1 workloads run
+// several threads per processor, still pinned). Each processor runs one
+// thread at a time from a FIFO ready queue; switching threads costs
+// Config.ContextSwitch, and waking a blocked thread costs the waker
+// Config.Wakeup — the two parameters that make spinning versus blocking a
+// real trade-off, exactly as on the Butterfly.
+//
+// A Thread implements sim.Accessor, so simulated shared memory
+// (sim.Cell) charges it local or remote latency automatically. All Thread
+// methods except Wake must be called from inside the thread's own function.
+package cthreads
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// State is a thread's scheduling state.
+type State int
+
+// Thread states.
+const (
+	StateNew     State = iota // forked, never run
+	StateReady                // on a processor's ready queue
+	StateRunning              // current on its processor
+	StateBlocked              // waiting for Wake (or a timeout)
+	StateDone                 // function returned
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Stats counts scheduling activity across a run.
+type Stats struct {
+	Forks           int
+	ContextSwitches int
+	Wakeups         int
+	Timeouts        int
+	Preemptions     int
+}
+
+// System is a thread package instance bound to one simulated machine.
+type System struct {
+	mach  *sim.Machine
+	eng   *sim.Engine
+	procs []*Processor
+	all   []*Thread
+	stats Stats
+}
+
+// New creates a machine from cfg and a thread system on top of it, with one
+// processor per machine node.
+func New(cfg sim.Config) *System {
+	return OnMachine(sim.NewMachine(cfg))
+}
+
+// OnMachine builds a thread system on an existing machine.
+func OnMachine(m *sim.Machine) *System {
+	s := &System{mach: m, eng: m.Engine()}
+	s.procs = make([]*Processor, m.Nodes())
+	for i := range s.procs {
+		s.procs[i] = &Processor{sys: s, id: i}
+	}
+	return s
+}
+
+// Machine returns the underlying simulated machine.
+func (s *System) Machine() *sim.Machine { return s.mach }
+
+// Engine returns the underlying event engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Procs reports the number of processors.
+func (s *System) Procs() int { return len(s.procs) }
+
+// Proc returns processor p.
+func (s *System) Proc(p int) *Processor { return s.procs[p] }
+
+// Stats returns scheduling counters accumulated so far.
+func (s *System) Stats() Stats { return s.stats }
+
+// Threads returns all threads ever forked, in fork order.
+func (s *System) Threads() []*Thread { return s.all }
+
+// Fork creates a thread named name pinned to processor proc; it becomes
+// runnable immediately (after the usual context-switch cost when the
+// processor picks it up). fn runs inside the simulation.
+func (s *System) Fork(proc int, name string, fn func(t *Thread)) *Thread {
+	if proc < 0 || proc >= len(s.procs) {
+		panic(fmt.Sprintf("cthreads: fork %q on nonexistent processor %d", name, proc))
+	}
+	p := s.procs[proc]
+	t := &Thread{sys: s, id: len(s.all), name: name, proc: p, fn: fn, blockedAt: -1}
+	t.coro = s.eng.Spawn(name, func(c *sim.Coro) {
+		t.fn(t)
+		t.exit()
+	})
+	s.all = append(s.all, t)
+	s.stats.Forks++
+	p.enqueue(t)
+	p.maybeSchedule()
+	return t
+}
+
+// Run executes the simulation until all activity completes. It returns an
+// error if the machine deadlocks (threads blocked forever) or a thread
+// panics; the error names the stuck threads.
+func (s *System) Run() error {
+	err := s.eng.Run()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, sim.ErrDeadlock) {
+		var stuck []string
+		for _, t := range s.all {
+			if t.state != StateDone {
+				stuck = append(stuck, fmt.Sprintf("%s(%s)", t.name, t.state))
+			}
+		}
+		return fmt.Errorf("cthreads: %w; stuck threads: %s", err, strings.Join(stuck, ", "))
+	}
+	return err
+}
+
+// Now reports the current virtual time.
+func (s *System) Now() sim.Time { return s.eng.Now() }
+
+// Utilization reports the fraction of processor-time spent computing
+// (thread Advance) over the run so far, across all processors. Idle
+// processors and blocked-thread time lower it.
+func (s *System) Utilization() float64 {
+	total := sim.Time(len(s.procs)) * s.eng.Now()
+	if total <= 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, p := range s.procs {
+		busy += p.busy
+	}
+	return float64(busy) / float64(total)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/sor"
+)
+
+// BarrierRow compares the barrier waiting policies in one scheduling
+// regime of the SOR application.
+type BarrierRow struct {
+	Regime   string
+	Spin     sim.Time
+	Sleep    sim.Time
+	Adaptive sim.Time
+}
+
+// BarrierComparison applies the adaptive-object model to a second
+// operating-system abstraction (§7: "use the concept of closely-coupled
+// adaptation in other operating system components"): the SOR sweep
+// barrier. Its built-in monitor senses whether arrivals had co-runnable
+// threads on their processors — the §2 criterion for when busy-waiting is
+// wrong — and the policy moves the poll budget accordingly. With private
+// processors the adaptive barrier converges to polling; multiprogrammed,
+// it converges to a short grace poll followed by sleeping, beating both
+// static barriers.
+func BarrierComparison() ([]BarrierRow, error) {
+	regimes := []struct {
+		name    string
+		procs   int
+		quantum sim.Time
+	}{
+		{"1 worker/processor", 8, 0},
+		{"2 workers/processor", 4, 500 * sim.Microsecond},
+	}
+	var rows []BarrierRow
+	for _, reg := range regimes {
+		row := BarrierRow{Regime: reg.name}
+		for _, kind := range []string{"spin", "sleep", "adaptive"} {
+			res, err := sor.Solve(sor.Config{
+				Problem:     sor.Problem{N: 32, Tol: 1e-2},
+				Workers:     8,
+				Procs:       reg.procs,
+				LockKind:    locks.KindAdaptive,
+				BarrierKind: kind,
+				Machine:     sim.Config{Quantum: reg.quantum},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("barrier %s/%s: %w", reg.name, kind, err)
+			}
+			switch kind {
+			case "spin":
+				row.Spin = res.Elapsed
+			case "sleep":
+				row.Sleep = res.Elapsed
+			case "adaptive":
+				row.Adaptive = res.Elapsed
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

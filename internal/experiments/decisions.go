@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/locks"
+)
+
+// waitingDecision builds a waiting-policy reconfiguration decision (set
+// spin-time).
+func waitingDecision(spins int64) core.Decision {
+	return core.Decision{Attr: locks.AttrSpinTime, Value: spins}
+}
+
+// schedulerDecision builds a scheduler reconfiguration decision.
+func schedulerDecision(variant string) core.Decision {
+	return core.Decision{Method: locks.MethodScheduler, Variant: variant}
+}

@@ -1,0 +1,319 @@
+// Package experiments encodes every table and figure of the paper's
+// evaluation as a reproducible function: the lock microbenchmarks of §5.2
+// (Tables 4–8), the TSP application comparisons of §4 (Tables 1–3) with
+// their locking-pattern figures (Figures 4–9), the combined-lock
+// motivation sweep (Figure 1), and the extension experiments (scheduler
+// comparison, spin-vs-block crossover, adaptation-policy ablation).
+//
+// The same functions drive cmd/lockbench, cmd/tspbench, cmd/figures, the
+// root bench_test.go benchmarks, and the shape-assertion tests; every run
+// is deterministic given the options.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cthreads"
+	"repro/internal/locks"
+	"repro/internal/sim"
+)
+
+// Options configures the microbenchmark experiments.
+type Options struct {
+	// Machine is the simulated multiprocessor; zero fields take the
+	// GP1000-flavoured defaults.
+	Machine sim.Config
+	// Costs calibrates lock implementations; nil means locks.DefaultCosts.
+	Costs *locks.Costs
+	// Iters is how many times each operation is repeated and averaged
+	// (adaptive locks reach steady state after a few samples).
+	Iters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine.Nodes < 2 {
+		o.Machine.Nodes = 2
+	}
+	if o.Costs == nil {
+		d := locks.DefaultCosts()
+		o.Costs = &d
+	}
+	if o.Iters < 1 {
+		o.Iters = 16
+	}
+	return o
+}
+
+// LockOpRow is one row of Table 4 or Table 5: the latency of a lock or
+// unlock operation with the lock word in local vs. remote memory.
+type LockOpRow struct {
+	Kind   string
+	Local  sim.Time
+	Remote sim.Time
+}
+
+// lockKindsTable4 lists Table 4's rows in paper order.
+var lockKindsTable4 = []locks.Kind{
+	locks.KindTAS, locks.KindSpin, locks.KindBackoff, locks.KindBlocking, locks.KindAdaptive,
+}
+
+// lockKindsTable5 lists Table 5's rows in paper order (no raw atomior row).
+var lockKindsTable5 = []locks.Kind{
+	locks.KindSpin, locks.KindBackoff, locks.KindBlocking, locks.KindAdaptive,
+}
+
+// kindLabel renders a lock kind the way the paper's tables name it.
+func kindLabel(k locks.Kind) string {
+	switch k {
+	case locks.KindTAS:
+		return "atomior"
+	case locks.KindSpin:
+		return "spin-lock"
+	case locks.KindBackoff:
+		return "spin-with-backoff"
+	case locks.KindBlocking:
+		return "blocking-lock"
+	case locks.KindAdaptive:
+		return "adaptive lock"
+	default:
+		return string(k)
+	}
+}
+
+// measureOp runs one thread on the given node against a lock on node 0 and
+// returns the mean duration of the measured operation over opts.Iters
+// uncontended lock/unlock cycles.
+func measureOp(opts Options, kind locks.Kind, threadNode int, op string) (sim.Time, error) {
+	sys := cthreads.New(opts.Machine)
+	l, err := locks.New(sys, kind, 0, string(kind), *opts.Costs)
+	if err != nil {
+		return 0, err
+	}
+	var total sim.Time
+	sys.Fork(threadNode, "measurer", func(t *cthreads.Thread) {
+		for i := 0; i < opts.Iters; i++ {
+			switch op {
+			case "lock":
+				start := t.Now()
+				l.Lock(t)
+				total += t.Now() - start
+				l.Unlock(t)
+			case "unlock":
+				l.Lock(t)
+				start := t.Now()
+				l.Unlock(t)
+				total += t.Now() - start
+			default:
+				panic("experiments: unknown op " + op)
+			}
+			t.Advance(10 * sim.Microsecond)
+		}
+	})
+	if err := sys.Run(); err != nil {
+		return 0, err
+	}
+	return total / sim.Time(opts.Iters), nil
+}
+
+// Table4 measures the uncontended Lock operation latency for each lock
+// kind, local and remote (§5.2 Table 4).
+func Table4(opts Options) ([]LockOpRow, error) {
+	return lockOpTable(opts, lockKindsTable4, "lock")
+}
+
+// Table5 measures the uncontended Unlock operation latency (§5.2 Table 5).
+func Table5(opts Options) ([]LockOpRow, error) {
+	return lockOpTable(opts, lockKindsTable5, "unlock")
+}
+
+func lockOpTable(opts Options, kinds []locks.Kind, op string) ([]LockOpRow, error) {
+	opts = opts.withDefaults()
+	rows := make([]LockOpRow, 0, len(kinds))
+	for _, k := range kinds {
+		local, err := measureOp(opts, k, 0, op)
+		if err != nil {
+			return nil, fmt.Errorf("%s local %s: %w", op, k, err)
+		}
+		remote, err := measureOp(opts, k, 1, op)
+		if err != nil {
+			return nil, fmt.Errorf("%s remote %s: %w", op, k, err)
+		}
+		rows = append(rows, LockOpRow{Kind: kindLabel(k), Local: local, Remote: remote})
+	}
+	return rows, nil
+}
+
+// CycleRow is one row of Table 6 or 7: the cost of a locking cycle — an
+// unlock followed by the waiting requester's completed lock — on a busy
+// lock. This is the duration of the lock's "idle state" during a handover.
+type CycleRow struct {
+	Kind   string
+	Local  sim.Time
+	Remote sim.Time
+}
+
+// cycleLock builds the lock under test for Table 6/7 rows.
+type cycleLock func(sys *cthreads.System, node int, costs locks.Costs) locks.Lock
+
+// measureCycle holds the lock on one thread while another waits, then
+// releases and measures release-start → waiter-acquired. The holder runs
+// on node 0 and is always remote to the lock, so only the waiter's
+// distance varies between the local row (lock on the waiter's node 1) and
+// the remote row (lock on node 2).
+func measureCycle(opts Options, mk cycleLock, lockNode int) (sim.Time, error) {
+	if opts.Machine.Nodes < 3 {
+		opts.Machine.Nodes = 3
+	}
+	sys := cthreads.New(opts.Machine)
+	l := mk(sys, lockNode, *opts.Costs)
+	var releaseAt, acquiredAt sim.Time
+	holder := sys.Fork(0, "holder", func(t *cthreads.Thread) {
+		l.Lock(t)
+		t.Advance(3 * sim.Millisecond) // let the waiter settle into waiting
+		releaseAt = t.Now()
+		l.Unlock(t)
+	})
+	_ = holder
+	sys.Fork(1, "waiter", func(t *cthreads.Thread) {
+		t.Advance(200 * sim.Microsecond) // holder certainly owns the lock
+		l.Lock(t)
+		acquiredAt = t.Now()
+		l.Unlock(t)
+	})
+	if err := sys.Run(); err != nil {
+		return 0, err
+	}
+	if acquiredAt <= releaseAt {
+		return 0, fmt.Errorf("experiments: cycle measurement inverted (%v ≤ %v)", acquiredAt, releaseAt)
+	}
+	return acquiredAt - releaseAt, nil
+}
+
+// Table6 measures locking cycles of the static locks: spin,
+// spin-with-backoff, and blocking (§5.2 Table 6).
+func Table6(opts Options) ([]CycleRow, error) {
+	opts = opts.withDefaults()
+	cases := []struct {
+		name string
+		mk   cycleLock
+	}{
+		{"Spin", func(sys *cthreads.System, node int, c locks.Costs) locks.Lock {
+			return locks.NewSpinLock(sys, node, "spin", c)
+		}},
+		{"Spin-with-backoff", func(sys *cthreads.System, node int, c locks.Costs) locks.Lock {
+			return locks.NewBackoffSpinLock(sys, node, "backoff", c)
+		}},
+		{"Blocking-lock", func(sys *cthreads.System, node int, c locks.Costs) locks.Lock {
+			return locks.NewBlockingLock(sys, node, "blocking", c)
+		}},
+	}
+	return cycleTable(opts, cases)
+}
+
+// Table7 measures locking cycles of the adaptive lock pinned to its
+// pure-spin and pure-blocking configurations (§5.2 Table 7).
+func Table7(opts Options) ([]CycleRow, error) {
+	opts = opts.withDefaults()
+	cases := []struct {
+		name string
+		mk   cycleLock
+	}{
+		{"Spin", func(sys *cthreads.System, node int, c locks.Costs) locks.Lock {
+			return locks.NewPureSpinConfigured(sys, node, "adaptive-as-spin", c)
+		}},
+		{"Blocking", func(sys *cthreads.System, node int, c locks.Costs) locks.Lock {
+			return locks.NewPureBlockingConfigured(sys, node, "adaptive-as-blocking", c)
+		}},
+	}
+	return cycleTable(opts, cases)
+}
+
+func cycleTable(opts Options, cases []struct {
+	name string
+	mk   cycleLock
+}) ([]CycleRow, error) {
+	rows := make([]CycleRow, 0, len(cases))
+	for _, cse := range cases {
+		local, err := measureCycle(opts, cse.mk, 1) // lock local to the waiter
+		if err != nil {
+			return nil, fmt.Errorf("cycle local %s: %w", cse.name, err)
+		}
+		remote, err := measureCycle(opts, cse.mk, 2) // lock remote to the waiter
+		if err != nil {
+			return nil, fmt.Errorf("cycle remote %s: %w", cse.name, err)
+		}
+		rows = append(rows, CycleRow{Kind: cse.name, Local: local, Remote: remote})
+	}
+	return rows, nil
+}
+
+// ConfigOpRow is one row of Table 8: the cost of a basic adaptation
+// mechanism. Remote is -1 when the paper reports none.
+type ConfigOpRow struct {
+	Op     string
+	Local  sim.Time
+	Remote sim.Time
+}
+
+// Table8 measures the basic reconfiguration mechanisms: explicit attribute
+// acquisition, waiting-policy configuration, scheduler configuration, and
+// one general-purpose-monitor sample (§5.2 Table 8).
+func Table8(opts Options) ([]ConfigOpRow, error) {
+	opts = opts.withDefaults()
+	measure := func(threadNode int, f func(t *cthreads.Thread, l *locks.ReconfigurableLock)) (sim.Time, error) {
+		sys := cthreads.New(opts.Machine)
+		l := locks.NewReconfigurableLock(sys, 0, "cfg", *opts.Costs, 10)
+		var dur sim.Time
+		sys.Fork(threadNode, "agent", func(t *cthreads.Thread) {
+			start := t.Now()
+			f(t, l)
+			dur = t.Now() - start
+		})
+		if err := sys.Run(); err != nil {
+			return 0, err
+		}
+		return dur, nil
+	}
+
+	type op struct {
+		name   string
+		run    func(t *cthreads.Thread, l *locks.ReconfigurableLock)
+		remote bool
+	}
+	ops := []op{
+		{"acquisition", func(t *cthreads.Thread, l *locks.ReconfigurableLock) {
+			if err := l.AcquireAttrBy(t, locks.AttrSpinTime, 42); err != nil {
+				panic(err)
+			}
+		}, true},
+		{"configure(waiting policy)", func(t *cthreads.Thread, l *locks.ReconfigurableLock) {
+			if err := l.ConfigureBy(t, waitingDecision(50), -1); err != nil {
+				panic(err)
+			}
+		}, true},
+		{"configure(scheduler)", func(t *cthreads.Thread, l *locks.ReconfigurableLock) {
+			if err := l.ConfigureBy(t, schedulerDecision(locks.SchedPriority), -1); err != nil {
+				panic(err)
+			}
+		}, true},
+		{"monitor (one state variable)", func(t *cthreads.Thread, l *locks.ReconfigurableLock) {
+			l.GeneralMonitorSample(t)
+		}, false},
+	}
+	rows := make([]ConfigOpRow, 0, len(ops))
+	for _, o := range ops {
+		local, err := measure(0, o.run)
+		if err != nil {
+			return nil, fmt.Errorf("table8 %s local: %w", o.name, err)
+		}
+		remote := sim.Time(-1)
+		if o.remote {
+			remote, err = measure(1, o.run)
+			if err != nil {
+				return nil, fmt.Errorf("table8 %s remote: %w", o.name, err)
+			}
+		}
+		rows = append(rows, ConfigOpRow{Op: o.name, Local: local, Remote: remote})
+	}
+	return rows, nil
+}

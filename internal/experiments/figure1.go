@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Figure1Options configures the combined-lock critical-section sweep. The
+// workload multiprograms each processor (threads > processors) under
+// preemptive timeslicing, where the choice between spinning and sleeping
+// is a real trade-off.
+type Figure1Options struct {
+	Procs          int
+	ThreadsPerProc int
+	Iters          int
+	LocalWork      sim.Time
+	Quantum        sim.Time
+	// CSLengths is the sweep of critical-section lengths (the x-axis).
+	CSLengths []sim.Time
+	Machine   sim.Config
+	Costs     *locks.Costs
+}
+
+func (o Figure1Options) withDefaults() Figure1Options {
+	if o.Procs == 0 {
+		o.Procs = 8
+	}
+	if o.ThreadsPerProc == 0 {
+		o.ThreadsPerProc = 3
+	}
+	if o.Iters == 0 {
+		o.Iters = 25
+	}
+	if o.LocalWork == 0 {
+		o.LocalWork = 400 * sim.Microsecond
+	}
+	if o.Quantum == 0 {
+		o.Quantum = 1 * sim.Millisecond
+	}
+	if len(o.CSLengths) == 0 {
+		o.CSLengths = []sim.Time{
+			5 * sim.Microsecond, 10 * sim.Microsecond, 25 * sim.Microsecond,
+			50 * sim.Microsecond, 100 * sim.Microsecond, 250 * sim.Microsecond,
+			500 * sim.Microsecond, 1000 * sim.Microsecond,
+		}
+	}
+	return o
+}
+
+// Figure1Strategies are the five waiting policies the figure compares.
+func Figure1Strategies() []workload.Strategy {
+	return []workload.Strategy{
+		workload.SpinStrategy(),
+		workload.BlockStrategy(),
+		workload.CombinedStrategy(1),
+		workload.CombinedStrategy(10),
+		workload.CombinedStrategy(50),
+	}
+}
+
+// Figure1Row is the application execution time at one critical-section
+// length for every strategy, keyed by strategy name.
+type Figure1Row struct {
+	CSLength sim.Time
+	Elapsed  map[string]sim.Time
+}
+
+// Figure1 reproduces the paper's Figure 1: application execution time as a
+// function of critical-section length for pure spin, pure blocking, and
+// combined locks with 1, 10, and 50 initial spins.
+func Figure1(opts Figure1Options) ([]Figure1Row, error) {
+	opts = opts.withDefaults()
+	strategies := Figure1Strategies()
+	rows := make([]Figure1Row, 0, len(opts.CSLengths))
+	for _, cs := range opts.CSLengths {
+		row := Figure1Row{CSLength: cs, Elapsed: make(map[string]sim.Time, len(strategies))}
+		for _, strat := range strategies {
+			m := opts.Machine
+			m.Quantum = opts.Quantum
+			res, err := workload.RunCS(workload.CSConfig{
+				Procs:     opts.Procs,
+				Threads:   opts.Procs * opts.ThreadsPerProc,
+				Iters:     opts.Iters,
+				CSLength:  cs,
+				LocalWork: opts.LocalWork,
+				Jitter:    opts.LocalWork / 4,
+				Machine:   m,
+				Costs:     opts.Costs,
+			}, strat)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 cs=%v %s: %w", cs, strat.Name, err)
+			}
+			row.Elapsed[strat.Name] = res.Elapsed
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

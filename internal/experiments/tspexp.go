@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/locks"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tsp"
+)
+
+// TSPOptions configures the Tables 1–3 / Figures 4–9 experiments.
+type TSPOptions struct {
+	// Instance, when non-nil, overrides the generated instance (e.g. one
+	// parsed from a TSPLIB file).
+	Instance *tsp.Instance
+	// Cities is the problem size (the paper used 32; the default here is
+	// 16 Euclidean cities, which yields a search tree of comparable
+	// relative depth at tractable simulation cost).
+	Cities int
+	Seed   uint64
+	// Uniform switches from Euclidean to uniform random instances (much
+	// easier for LMSK; mainly for tests).
+	Uniform bool
+	// Searchers is the number of searcher threads / processors (paper: 10).
+	Searchers int
+	Machine   sim.Config
+	// StepsPerWorkUnit scales node-expansion cost relative to lock costs.
+	StepsPerWorkUnit int
+	// RecordPatterns collects the waiting-thread series (Figures 4–9).
+	RecordPatterns bool
+}
+
+func (o TSPOptions) withDefaults() TSPOptions {
+	if o.Cities == 0 {
+		o.Cities = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Searchers == 0 {
+		o.Searchers = 10
+	}
+	if o.StepsPerWorkUnit == 0 {
+		// A 16-city expansion is ~770 work units; at 60 steps each this is
+		// ~11ms of computation per expansion against lock operations of
+		// 40–90µs — the same work:lock ratio regime as the paper's
+		// 32-city runs on the GP1000 (expansions of milliseconds against
+		// tens-of-microsecond locks), where the centralized qlock is
+		// heavily contended but not saturated.
+		o.StepsPerWorkUnit = 60
+	}
+	return o
+}
+
+// instance builds the configured TSP instance.
+func (o TSPOptions) instance() *tsp.Instance {
+	if o.Instance != nil {
+		return o.Instance
+	}
+	if o.Uniform {
+		return tsp.NewRandomInstance(o.Cities, o.Seed)
+	}
+	return tsp.NewEuclideanInstance(o.Cities, o.Seed)
+}
+
+// TSPRow is one of Tables 1–3: one parallel organization, solved with
+// blocking locks and with adaptive locks (plus the sequential baseline for
+// the centralized table, as in the paper's Table 1).
+type TSPRow struct {
+	Org        tsp.Organization
+	Sequential sim.Time // 0 unless measured
+	Blocking   sim.Time
+	Adaptive   sim.Time
+	// ImprovementPct is the adaptive lock's gain over blocking.
+	ImprovementPct float64
+	// Speedup is sequential / blocking (Table 1's 6.5× claim); 0 when the
+	// sequential baseline was not run.
+	Speedup float64
+
+	BlockingRes tsp.Result
+	AdaptiveRes tsp.Result
+}
+
+// TSPComparison reproduces one of Tables 1–3: it solves the instance with
+// blocking locks and with adaptive locks under the given organization, and
+// (for the centralized organization, like the paper's Table 1) also runs
+// the sequential baseline.
+func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
+	opts = opts.withDefaults()
+	in := opts.instance()
+	run := func(kind locks.Kind) (tsp.Result, error) {
+		return tsp.Solve(tsp.Config{
+			Instance:         in,
+			Searchers:        opts.Searchers,
+			Org:              org,
+			LockKind:         kind,
+			Machine:          opts.Machine,
+			StepsPerWorkUnit: opts.StepsPerWorkUnit,
+			RecordPatterns:   opts.RecordPatterns,
+		})
+	}
+	row := TSPRow{Org: org}
+	var err error
+	if row.BlockingRes, err = run(locks.KindBlocking); err != nil {
+		return row, fmt.Errorf("tsp %s blocking: %w", org, err)
+	}
+	if row.AdaptiveRes, err = run(locks.KindAdaptive); err != nil {
+		return row, fmt.Errorf("tsp %s adaptive: %w", org, err)
+	}
+	if row.BlockingRes.Tour.Cost != row.AdaptiveRes.Tour.Cost {
+		return row, fmt.Errorf("tsp %s: blocking found %d, adaptive %d — both must be optimal",
+			org, row.BlockingRes.Tour.Cost, row.AdaptiveRes.Tour.Cost)
+	}
+	row.Blocking = row.BlockingRes.Elapsed
+	row.Adaptive = row.AdaptiveRes.Elapsed
+	row.ImprovementPct = 100 * float64(row.Blocking-row.Adaptive) / float64(row.Blocking)
+	if org == tsp.OrgCentralized {
+		seq, err := tsp.SolveSequentialSim(in, opts.Machine, opts.StepsPerWorkUnit, 0)
+		if err != nil {
+			return row, fmt.Errorf("tsp sequential: %w", err)
+		}
+		if seq.Tour.Cost != row.BlockingRes.Tour.Cost {
+			return row, fmt.Errorf("tsp: sequential found %d, parallel %d", seq.Tour.Cost, row.BlockingRes.Tour.Cost)
+		}
+		row.Sequential = seq.Elapsed
+		row.Speedup = float64(row.Sequential) / float64(row.Blocking)
+	}
+	return row, nil
+}
+
+// PatternFigure identifies one of Figures 4–9 by organization and lock.
+type PatternFigure struct {
+	Figure int
+	Org    tsp.Organization
+	Lock   string
+	Series *metrics.Series
+}
+
+// LockPatterns reproduces Figures 4–9: the waiting-thread pattern of qlock
+// and glob-act-lock for each of the three organizations, measured on the
+// blocking-lock runs (patterns are a property of the program structure,
+// observed per lock request).
+func LockPatterns(opts TSPOptions) ([]PatternFigure, error) {
+	opts = opts.withDefaults()
+	opts.RecordPatterns = true
+	figs := []PatternFigure{
+		{Figure: 4, Org: tsp.OrgCentralized, Lock: tsp.LockQueue},
+		{Figure: 5, Org: tsp.OrgCentralized, Lock: tsp.LockActive},
+		{Figure: 6, Org: tsp.OrgDistributed, Lock: tsp.LockQueue},
+		{Figure: 7, Org: tsp.OrgDistributed, Lock: tsp.LockActive},
+		{Figure: 8, Org: tsp.OrgDistributedLB, Lock: tsp.LockQueue},
+		{Figure: 9, Org: tsp.OrgDistributedLB, Lock: tsp.LockActive},
+	}
+	in := opts.instance()
+	byOrg := map[tsp.Organization]tsp.Result{}
+	for _, org := range []tsp.Organization{tsp.OrgCentralized, tsp.OrgDistributed, tsp.OrgDistributedLB} {
+		res, err := tsp.Solve(tsp.Config{
+			Instance:         in,
+			Searchers:        opts.Searchers,
+			Org:              org,
+			LockKind:         locks.KindBlocking,
+			Machine:          opts.Machine,
+			StepsPerWorkUnit: opts.StepsPerWorkUnit,
+			RecordPatterns:   true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("patterns %s: %w", org, err)
+		}
+		byOrg[org] = res
+	}
+	for i := range figs {
+		res := byOrg[figs[i].Org]
+		s, ok := res.Patterns[figs[i].Lock]
+		if !ok || s == nil {
+			return nil, fmt.Errorf("patterns: no series for %s in %s", figs[i].Lock, figs[i].Org)
+		}
+		figs[i].Series = s
+	}
+	return figs, nil
+}
+
+// ScalingRow is the adaptive-over-blocking improvement at one machine
+// size.
+type ScalingRow struct {
+	Searchers      int
+	Blocking       sim.Time
+	Adaptive       sim.Time
+	ImprovementPct float64
+}
+
+// ScalingComparison tests the paper's §4 prediction: "For massively
+// parallel applications we expect the gain to be even higher because the
+// effect of blocking vs. spinning ... is more pronounced." It runs the
+// centralized TSP implementation at growing processor counts and reports
+// the adaptive lock's improvement at each.
+func ScalingComparison(opts TSPOptions, searcherCounts []int) ([]ScalingRow, error) {
+	if len(searcherCounts) == 0 {
+		searcherCounts = []int{4, 8, 16, 24}
+	}
+	var rows []ScalingRow
+	for _, n := range searcherCounts {
+		o := opts
+		o.Searchers = n
+		row, err := TSPComparison(tsp.OrgCentralized, o)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d searchers: %w", n, err)
+		}
+		rows = append(rows, ScalingRow{
+			Searchers:      n,
+			Blocking:       row.Blocking,
+			Adaptive:       row.Adaptive,
+			ImprovementPct: row.ImprovementPct,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,51 @@
+package locks
+
+import "fmt"
+
+import "repro/internal/cthreads"
+
+// Kind names a lock implementation, for factories and command-line flags.
+type Kind string
+
+// The lock kinds of the paper's evaluation.
+const (
+	KindTAS      Kind = "tas"
+	KindSpin     Kind = "spin"
+	KindBackoff  Kind = "backoff"
+	KindBlocking Kind = "blocking"
+	KindAdaptive Kind = "adaptive"
+)
+
+// Kinds lists all factory-constructible kinds in table order.
+func Kinds() []Kind {
+	return []Kind{KindTAS, KindSpin, KindBackoff, KindBlocking, KindAdaptive}
+}
+
+// New constructs a lock of the given kind on the given node. Adaptive
+// locks get the default SimpleAdapt policy.
+func New(sys *cthreads.System, kind Kind, node int, name string, costs Costs) (Lock, error) {
+	switch kind {
+	case KindTAS:
+		return NewTASLock(sys, node, name, costs), nil
+	case KindSpin:
+		return NewSpinLock(sys, node, name, costs), nil
+	case KindBackoff:
+		return NewBackoffSpinLock(sys, node, name, costs), nil
+	case KindBlocking:
+		return NewBlockingLock(sys, node, name, costs), nil
+	case KindAdaptive:
+		return NewAdaptiveLock(sys, node, name, costs, nil), nil
+	default:
+		return nil, fmt.Errorf("locks: unknown kind %q", kind)
+	}
+}
+
+// MustNew is New, panicking on error (for table-driven experiment code
+// where the kind is a compile-time constant).
+func MustNew(sys *cthreads.System, kind Kind, node int, name string, costs Costs) Lock {
+	l, err := New(sys, kind, node, name, costs)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,109 @@
+package locks
+
+import (
+	"repro/internal/cthreads"
+	"repro/internal/sim"
+)
+
+// LocalSpinLock is a queue lock in the MCS style (Mellor-Crummey & Scott,
+// 1991): each waiter spins on a flag in its *own* memory module, and the
+// releaser writes that flag directly. It is the "distributed"
+// representation of a lock the paper's §2 alludes to when discussing
+// re-targeting lock implementations to different architectural platforms —
+// on a machine whose memory modules serialize accesses
+// (sim.Config.ModuleService), a centralized test-and-set lock's spinners
+// flood the lock word's module and slow down the very release they are
+// waiting for, while this lock's spins stay local.
+type LocalSpinLock struct {
+	base
+	// tail mirrors the tail word's contents (which qnode, if any, is at
+	// the queue's end); the cost of updating it is charged via tailCell.
+	tail     *qnode
+	tailCell *sim.Cell
+	nodes    map[*cthreads.Thread]*qnode
+}
+
+// qnode is a per-thread queue record; wait lives on the thread's own node
+// so spinning on it is local.
+type qnode struct {
+	t    *cthreads.Thread
+	wait *sim.Cell
+	next *qnode
+}
+
+// NewLocalSpinLock allocates an MCS-style queue lock whose tail word lives
+// on the given node.
+func NewLocalSpinLock(sys *cthreads.System, node int, name string, costs Costs) *LocalSpinLock {
+	l := &LocalSpinLock{
+		base:  newBase(sys, node, name, costs),
+		nodes: make(map[*cthreads.Thread]*qnode),
+	}
+	l.tailCell = sys.Machine().NewCell(node, name+".tail", 0)
+	return l
+}
+
+// qnodeFor returns (allocating on first use) the caller's queue record.
+func (l *LocalSpinLock) qnodeFor(t *cthreads.Thread) *qnode {
+	qn, ok := l.nodes[t]
+	if !ok {
+		qn = &qnode{t: t, wait: l.sys.Machine().NewCell(t.Node(), l.name+".wait."+t.Name(), 0)}
+		l.nodes[t] = qn
+	}
+	return qn
+}
+
+// Lock enqueues the caller's qnode with an atomic fetch-and-store on the
+// tail word, links behind the predecessor, and spins on its own local
+// flag until the predecessor hands over.
+func (l *LocalSpinLock) Lock(t *cthreads.Thread) {
+	start := t.Now()
+	t.Compute(l.costs.SpinLockSteps)
+	l.observe(t, l.spinners)
+	qn := l.qnodeFor(t)
+	qn.next = nil
+	qn.wait.Store(t, 1) // local write
+
+	// fetch-and-store tail ← qn (one RMW on the lock's home node).
+	l.tailCell.AtomicOr(t, 1) // charge the RMW; the value mirror is below
+	pred := l.tail
+	l.tail = qn
+	if pred == nil {
+		l.acquired(t, start, false)
+		return
+	}
+	l.spinners++
+	// Link behind the predecessor: one reference to its node.
+	t.Advance(l.sys.Machine().AccessCost(t.Node(), pred.t.Node()))
+	pred.next = qn
+	for qn.wait.Load(t) != 0 { // LOCAL spin
+		l.stats.SpinIters++
+		t.Compute(l.costs.SpinPauseSteps)
+	}
+	l.spinners--
+	l.acquired(t, start, true)
+}
+
+// Unlock hands the lock to the successor by clearing its local flag, or
+// resets the tail when no one waits.
+func (l *LocalSpinLock) Unlock(t *cthreads.Thread) {
+	l.checkOwner(t, "Unlock")
+	t.Compute(l.costs.SpinUnlockSteps)
+	qn := l.qnodeFor(t)
+	l.owner = nil
+	if qn.next == nil {
+		// No known successor: try to swing tail back to nil (one RMW).
+		l.tailCell.AtomicOr(t, 1)
+		if l.tail == qn {
+			l.tail = nil
+			return
+		}
+		// A successor is mid-enqueue: wait for its link to appear.
+		for qn.next == nil {
+			t.Compute(l.costs.SpinPauseSteps)
+		}
+	}
+	// Hand over: one write into the successor's local module.
+	next := qn.next
+	qn.next = nil
+	next.wait.Store(t, 0)
+}

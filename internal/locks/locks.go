@@ -1,0 +1,145 @@
+// Package locks implements the paper's family of multiprocessor locks on
+// the simulated NUMA machine: the raw atomior (test-and-set) lock, spin
+// and backoff-spin locks, a blocking lock, a combined spin-then-block lock,
+// a reconfigurable lock whose waiting policy and scheduler can be changed
+// at run time, and the adaptive lock — a reconfigurable lock with a
+// built-in monitor and the paper's simple adaptation policy (§4, §5).
+//
+// Every lock charges its caller virtual time for the instructions and
+// memory references its implementation would perform, calibrated (see
+// Costs) so that the microbenchmark tables of §5.2 reproduce in shape and
+// rough magnitude.
+package locks
+
+import (
+	"fmt"
+
+	"repro/internal/cthreads"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Lock is a mutual-exclusion lock usable from simulated threads.
+// Lock blocks (by spinning, sleeping, or both, per the implementation)
+// until the calling thread owns the lock; Unlock releases it and panics if
+// the caller is not the owner — unlocking someone else's mutex is a bug in
+// the simulated program, not a condition to handle.
+type Lock interface {
+	Name() string
+	Lock(t *cthreads.Thread)
+	Unlock(t *cthreads.Thread)
+	Stats() Stats
+}
+
+// Stats aggregates a lock's activity over a run.
+type Stats struct {
+	// Acquisitions counts successful Lock calls.
+	Acquisitions uint64
+	// Contended counts acquisitions that found the lock busy.
+	Contended uint64
+	// Blocks counts times a thread slept while waiting.
+	Blocks uint64
+	// SpinIters counts spin-loop iterations across all threads.
+	SpinIters uint64
+	// MaxWaiting is the largest number of simultaneous waiters observed.
+	MaxWaiting int
+	// TotalWait is the summed time threads spent between requesting and
+	// acquiring the lock.
+	TotalWait sim.Time
+}
+
+// Observer receives one event per Lock call at registration time: the
+// current virtual time and the number of threads already waiting (the
+// quantity plotted in the paper's Figures 4–9).
+type Observer func(now sim.Time, waiting int)
+
+// base carries the state shared by every lock implementation: the lock
+// word (a cell on the lock's home node), ownership, wait accounting, and
+// the observer hook.
+type base struct {
+	name  string
+	sys   *cthreads.System
+	node  int
+	costs Costs
+
+	flag  *sim.Cell
+	owner *cthreads.Thread
+
+	spinners int // threads currently in a spin loop
+	stats    Stats
+	observer Observer
+	waitHist *metrics.Histogram
+}
+
+func newBase(sys *cthreads.System, node int, name string, costs Costs) base {
+	return base{
+		name:  name,
+		sys:   sys,
+		node:  node,
+		costs: costs,
+		flag:  sys.Machine().NewCell(node, name+".flag", 0),
+	}
+}
+
+// Name returns the lock's name.
+func (b *base) Name() string { return b.name }
+
+// Node returns the memory node the lock's state lives on.
+func (b *base) Node() int { return b.node }
+
+// Stats returns accumulated counters.
+func (b *base) Stats() Stats { return b.stats }
+
+// SetObserver installs the per-request observer (nil to remove).
+func (b *base) SetObserver(o Observer) { b.observer = o }
+
+// SetWaitHistogram attaches a histogram that records each acquisition's
+// request-to-grant wait (nil to detach).
+func (b *base) SetWaitHistogram(h *metrics.Histogram) { b.waitHist = h }
+
+// Owner returns the current owner thread, or nil.
+func (b *base) Owner() *cthreads.Thread { return b.owner }
+
+// observe reports a lock request with the current waiter count.
+func (b *base) observe(t *cthreads.Thread, waiting int) {
+	if waiting > b.stats.MaxWaiting {
+		b.stats.MaxWaiting = waiting
+	}
+	if b.observer != nil {
+		b.observer(t.Now(), waiting)
+	}
+}
+
+// acquired finishes bookkeeping for a successful acquisition.
+func (b *base) acquired(t *cthreads.Thread, start sim.Time, wasContended bool) {
+	b.owner = t
+	b.stats.Acquisitions++
+	if wasContended {
+		b.stats.Contended++
+	}
+	wait := t.Now() - start
+	b.stats.TotalWait += wait
+	if b.waitHist != nil {
+		b.waitHist.Record(wait)
+	}
+}
+
+// checkOwner panics unless t owns the lock.
+func (b *base) checkOwner(t *cthreads.Thread, op string) {
+	if b.owner != t {
+		ownerName := "<none>"
+		if b.owner != nil {
+			ownerName = b.owner.Name()
+		}
+		panic(fmt.Sprintf("locks: %s of %q by %q, owner is %s", op, b.name, t.Name(), ownerName))
+	}
+}
+
+// chargeAccesses charges t the cost of n plain references to the lock's
+// home node.
+func (b *base) chargeAccesses(t *cthreads.Thread, n int) {
+	if n <= 0 {
+		return
+	}
+	t.Advance(sim.Time(n) * b.sys.Machine().AccessCost(t.Node(), b.node))
+}

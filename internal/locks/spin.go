@@ -1,0 +1,85 @@
+package locks
+
+import (
+	"repro/internal/cthreads"
+	"repro/internal/sim"
+)
+
+// SpinLock is the paper's primitive spin lock: a registered busy-wait lock
+// (the registration work is what separates its latency from the raw
+// atomior's). Waiters occupy their processor until they win the word.
+type SpinLock struct {
+	base
+}
+
+// NewSpinLock allocates a spin lock on the given node.
+func NewSpinLock(sys *cthreads.System, node int, name string, costs Costs) *SpinLock {
+	return &SpinLock{base: newBase(sys, node, name, costs)}
+}
+
+// Lock busy-waits until acquisition.
+func (l *SpinLock) Lock(t *cthreads.Thread) {
+	start := t.Now()
+	t.Compute(l.costs.SpinLockSteps)
+	l.observe(t, l.spinners)
+	contended := false
+	l.spinners++
+	for l.flag.AtomicOr(t, 1) != 0 {
+		contended = true
+		l.stats.SpinIters++
+		t.Compute(l.costs.SpinPauseSteps)
+	}
+	l.spinners--
+	l.acquired(t, start, contended)
+}
+
+// Unlock clears the word; any spinner's next test-and-set wins.
+func (l *SpinLock) Unlock(t *cthreads.Thread) {
+	l.checkOwner(t, "Unlock")
+	t.Compute(l.costs.SpinUnlockSteps)
+	l.owner = nil
+	l.flag.Store(t, 0)
+}
+
+// BackoffSpinLock is the spin-with-backoff variation of Anderson et al.
+// [ALL89] as the paper describes it: a requester spins once and, if the
+// lock is busy, backs off for a time proportional to the number of threads
+// already waiting before testing again.
+type BackoffSpinLock struct {
+	base
+}
+
+// NewBackoffSpinLock allocates a backoff spin lock on the given node.
+func NewBackoffSpinLock(sys *cthreads.System, node int, name string, costs Costs) *BackoffSpinLock {
+	return &BackoffSpinLock{base: newBase(sys, node, name, costs)}
+}
+
+// Lock tests once, then alternates proportional backoff with retests.
+func (l *BackoffSpinLock) Lock(t *cthreads.Thread) {
+	start := t.Now()
+	t.Compute(l.costs.SpinLockSteps)
+	l.observe(t, l.spinners)
+	if l.flag.AtomicOr(t, 1) == 0 {
+		l.acquired(t, start, false)
+		return
+	}
+	l.spinners++
+	for {
+		l.stats.SpinIters++
+		backoff := l.costs.BackoffUnit * sim.Time(l.spinners)
+		t.Advance(backoff)
+		if l.flag.AtomicOr(t, 1) == 0 {
+			break
+		}
+	}
+	l.spinners--
+	l.acquired(t, start, true)
+}
+
+// Unlock clears the word.
+func (l *BackoffSpinLock) Unlock(t *cthreads.Thread) {
+	l.checkOwner(t, "Unlock")
+	t.Compute(l.costs.SpinUnlockSteps)
+	l.owner = nil
+	l.flag.Store(t, 0)
+}

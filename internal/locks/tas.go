@@ -1,0 +1,39 @@
+package locks
+
+import "repro/internal/cthreads"
+
+// TASLock is the rawest lock: a bare atomior (test-and-set) loop with no
+// registration, no queue, and no policy — Table 4's "atomior" row. It is
+// the latency floor every other lock is measured against.
+type TASLock struct {
+	base
+}
+
+// NewTASLock allocates a raw test-and-set lock on the given node.
+func NewTASLock(sys *cthreads.System, node int, name string, costs Costs) *TASLock {
+	return &TASLock{base: newBase(sys, node, name, costs)}
+}
+
+// Lock spins on atomior until the word is clear.
+func (l *TASLock) Lock(t *cthreads.Thread) {
+	start := t.Now()
+	t.Compute(l.costs.TASLockSteps)
+	l.observe(t, l.spinners)
+	contended := false
+	l.spinners++
+	for l.flag.AtomicOr(t, 1) != 0 {
+		contended = true
+		l.stats.SpinIters++
+		t.Compute(l.costs.SpinPauseSteps)
+	}
+	l.spinners--
+	l.acquired(t, start, contended)
+}
+
+// Unlock clears the word.
+func (l *TASLock) Unlock(t *cthreads.Thread) {
+	l.checkOwner(t, "Unlock")
+	t.Compute(l.costs.TASUnlockSteps)
+	l.owner = nil
+	l.flag.Store(t, 0)
+}

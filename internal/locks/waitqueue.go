@@ -1,0 +1,83 @@
+package locks
+
+import (
+	"repro/internal/cthreads"
+	"repro/internal/sim"
+)
+
+// waiter is one registered sleeping requester. granted marks handoff: the
+// releasing thread may grant the lock to a waiter that has registered but
+// not yet gone to sleep; the waiter notices and skips sleeping.
+type waiter struct {
+	t        *cthreads.Thread
+	granted  bool
+	enqueued sim.Time
+}
+
+// waitQueue is the registration component of a lock's scheduler: an
+// ordered set of sleeping waiters from which the release component picks a
+// successor according to the installed scheduling variant.
+type waitQueue struct {
+	ws []*waiter
+}
+
+// Len reports the number of registered waiters.
+func (q *waitQueue) Len() int { return len(q.ws) }
+
+// enqueue registers t and returns its record.
+func (q *waitQueue) enqueue(t *cthreads.Thread) *waiter {
+	w := &waiter{t: t, enqueued: t.Now()}
+	q.ws = append(q.ws, w)
+	return w
+}
+
+// remove deletes the specific record (a waiter that acquired the lock by
+// retry, or abandoned the queue on timeout). It reports whether the record
+// was present.
+func (q *waitQueue) remove(w *waiter) bool {
+	for i, x := range q.ws {
+		if x == w {
+			q.ws = append(q.ws[:i], q.ws[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Scheduler variant names for the reconfigurable lock's release component.
+const (
+	SchedFCFS     = "fcfs"
+	SchedPriority = "priority"
+	SchedHandoff  = "handoff"
+)
+
+// pick removes and returns the next waiter according to the scheduling
+// variant. successor is the handoff designation (may be nil). Returns nil
+// when the queue is empty.
+func (q *waitQueue) pick(variant string, successor *cthreads.Thread) *waiter {
+	if len(q.ws) == 0 {
+		return nil
+	}
+	idx := 0
+	switch variant {
+	case SchedPriority:
+		for i, w := range q.ws {
+			if w.t.Priority() > q.ws[idx].t.Priority() {
+				idx = i
+			}
+			_ = w
+		}
+	case SchedHandoff:
+		if successor != nil {
+			for i, w := range q.ws {
+				if w.t == successor {
+					idx = i
+					break
+				}
+			}
+		}
+	}
+	w := q.ws[idx]
+	q.ws = append(q.ws[:idx], q.ws[idx+1:]...)
+	return w
+}

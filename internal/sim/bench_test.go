@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(1, step)
+		}
+	}
+	e.After(1, step)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCoroSwitch measures one coroutine round trip (sleep + resume),
+// the unit cost of everything the simulator does.
+func BenchmarkCoroSwitch(b *testing.B) {
+	e := NewEngine()
+	c := e.Spawn("bench", func(c *Coro) {
+		for i := 0; i < b.N; i++ {
+			c.Sleep(1)
+		}
+	})
+	c.Start(0)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCellAtomicOr measures the simulated atomic primitive including
+// its latency charge.
+func BenchmarkCellAtomicOr(b *testing.B) {
+	m := NewMachine(Config{Nodes: 2})
+	cell := m.NewCell(0, "x", 0)
+	c := m.Engine().Spawn("bench", func(c *Coro) {
+		a := &coroAccessor{c: c}
+		for i := 0; i < b.N; i++ {
+			cell.AtomicOr(a, 1)
+			cell.Poke(0)
+		}
+	})
+	c.Start(0)
+	b.ResetTimer()
+	if err := m.Engine().Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// coroAccessor adapts a bare Coro to the Accessor interface for benches.
+type coroAccessor struct{ c *Coro }
+
+func (a *coroAccessor) Node() int      { return 0 }
+func (a *coroAccessor) Advance(d Time) { a.c.Sleep(d) }

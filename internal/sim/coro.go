@@ -1,0 +1,111 @@
+package sim
+
+import "fmt"
+
+// Coro is a simulated execution context: a goroutine that runs real Go code
+// but advances only when the engine dispatches it, and returns control
+// whenever it sleeps or parks. Exactly one Coro (or the engine loop) is
+// active at any moment, so code inside a Coro may freely read and write
+// simulated state without synchronization.
+//
+// Coros are created with Engine.Spawn and begin execution when first
+// dispatched (Coro.Start schedules that).
+type Coro struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+
+	started bool
+	done    bool
+	killed  bool
+	parked  bool
+}
+
+// Spawn creates a Coro that will run fn. The coro does not execute until
+// Start (or a manual Unpark) schedules it. The name appears in error
+// messages.
+func (e *Engine) Spawn(name string, fn func(c *Coro)) *Coro {
+	c := &Coro{eng: e, name: name, resume: make(chan struct{})}
+	e.live[c] = struct{}{}
+	go func() {
+		<-c.resume
+		defer func() {
+			c.done = true
+			delete(e.live, c)
+			if r := recover(); r != nil && r != errKilled {
+				e.fail(fmt.Errorf("sim: coro %q panicked: %v", c.name, r))
+			}
+			e.trace("coro-done " + c.name)
+			e.yield <- struct{}{}
+		}()
+		if c.killed {
+			panic(errKilled)
+		}
+		e.trace("coro-start " + c.name)
+		fn(c)
+	}()
+	return c
+}
+
+// Start schedules the coro to begin execution after delay d.
+func (c *Coro) Start(d Time) {
+	if c.started {
+		panic(fmt.Sprintf("sim: coro %q started twice", c.name))
+	}
+	c.started = true
+	c.eng.After(d, func() { c.eng.dispatch(c) })
+}
+
+// Name returns the coro's diagnostic name.
+func (c *Coro) Name() string { return c.name }
+
+// Done reports whether the coro's function has returned.
+func (c *Coro) Done() bool { return c.done }
+
+// Engine returns the engine this coro belongs to.
+func (c *Coro) Engine() *Engine { return c.eng }
+
+// Now reports the current virtual time.
+func (c *Coro) Now() Time { return c.eng.now }
+
+// yieldToEngine returns control to the engine and blocks until redispatched.
+// Must only be called from inside the coro's own goroutine.
+func (c *Coro) yieldToEngine() {
+	c.eng.yield <- struct{}{}
+	<-c.resume
+	if c.killed {
+		panic(errKilled)
+	}
+}
+
+// Sleep advances the coro's virtual time by d: it schedules its own wakeup
+// and yields. Other events run in the interim. Negative durations are
+// treated as zero (the coro still yields, letting same-time events run).
+func (c *Coro) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	c.eng.After(d, func() { c.eng.dispatch(c) })
+	c.yieldToEngine()
+}
+
+// Park suspends the coro indefinitely; it resumes only when another
+// activity calls Unpark.
+func (c *Coro) Park() {
+	c.parked = true
+	c.yieldToEngine()
+}
+
+// Unpark schedules a parked coro to resume after delay d. Calling Unpark on
+// a coro that is not parked is a programming error in the layer above and
+// panics, because the double dispatch would corrupt the interleaving.
+func (c *Coro) Unpark(d Time) {
+	if !c.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked coro %q", c.name))
+	}
+	c.parked = false
+	c.eng.After(d, func() { c.eng.dispatch(c) })
+}
+
+// Parked reports whether the coro is suspended waiting for Unpark.
+func (c *Coro) Parked() bool { return c.parked }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Engine.Run when the event queue drains while
+// simulated contexts are still parked: no event can ever wake them again.
+var ErrDeadlock = errors.New("sim: deadlock: event queue empty with parked contexts")
+
+// errKilled is the panic value used to unwind a Coro during Engine shutdown.
+var errKilled = errors.New("sim: coro killed at engine shutdown")
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event core: a virtual clock plus a priority queue
+// of pending events. Exactly one simulated activity runs at any moment (the
+// engine loop or a single Coro), so simulated state needs no locking and
+// every run with the same inputs produces the same history.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+
+	// yield is signalled by a Coro when it returns control to the engine.
+	yield chan struct{}
+	// live tracks spawned coros that have not finished, for shutdown and
+	// deadlock detection.
+	live map[*Coro]struct{}
+	// failure records the first panic raised inside a Coro.
+	failure error
+
+	running bool
+	stopped bool
+	tracer  Tracer
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  make(map[*Coro]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at the given absolute virtual time. Scheduling in
+// the past is rounded up to the present.
+func (e *Engine) At(when Time, fn func()) {
+	if when < e.now {
+		when = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative delays fire immediately
+// (at the current time, after already-queued events for that time).
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Live reports the number of spawned coros that have not yet finished.
+func (e *Engine) Live() int { return len(e.live) }
+
+// Run executes events in time order until the queue is empty, Stop is
+// called, or a Coro panics. It returns ErrDeadlock if the queue drains
+// while coros are still parked, and the recovered error if a Coro fails.
+// In every case the engine winds down all remaining coros so no goroutines
+// leak.
+func (e *Engine) Run() error {
+	if e.running {
+		return errors.New("sim: Engine.Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.queue) > 0 && !e.stopped && e.failure == nil {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.when
+		e.trace("event")
+		ev.fn()
+	}
+
+	err := e.failure
+	if err == nil && !e.stopped && len(e.live) > 0 {
+		err = fmt.Errorf("%w (%d parked)", ErrDeadlock, len(e.live))
+	}
+	e.shutdown()
+	if e.failure != nil && err == nil {
+		err = e.failure
+	}
+	return err
+}
+
+// RunFor runs events until the clock would pass now+d, leaving later events
+// queued. It is primarily useful in tests that examine intermediate state.
+func (e *Engine) RunFor(d Time) error {
+	deadline := e.now + d
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.failure == nil {
+		if e.queue[0].when > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.when
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.failure
+}
+
+// shutdown unwinds any coros that are still parked by resuming them with
+// the kill flag set; each panics with errKilled, which its wrapper absorbs.
+func (e *Engine) shutdown() {
+	for len(e.live) > 0 {
+		var c *Coro
+		// Pick an arbitrary live coro; order does not matter because each
+		// unwinds independently without touching simulated state.
+		for k := range e.live {
+			c = k
+			break
+		}
+		c.killed = true
+		e.dispatch(c)
+	}
+}
+
+// dispatch transfers control to c until it yields, parks, or finishes.
+// It must only be called from the engine side (event callbacks or Run).
+func (e *Engine) dispatch(c *Coro) {
+	c.resume <- struct{}{}
+	<-e.yield
+}
+
+// fail records the first error raised by a Coro and stops the run.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopped = true
+}
+
+// Tracer receives one line per engine occurrence when tracing is enabled:
+// event dispatch and coro lifecycle. For debugging simulations; the
+// callback must not mutate simulated state.
+type Tracer func(at Time, what string)
+
+// SetTracer installs (or, with nil, removes) the trace hook.
+func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
+
+// trace emits one trace line if tracing is enabled.
+func (e *Engine) trace(what string) {
+	if e.tracer != nil {
+		e.tracer(e.now, what)
+	}
+}

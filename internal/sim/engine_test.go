@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order broken at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestEnginePastSchedulingClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.At(100, func() {
+		e.At(10, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 100 {
+		t.Fatalf("past event fired at %v, want clamped to 100", at)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	if err := e.RunFor(25); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("after full Run fired %v, want all 4", fired)
+	}
+}
+
+func TestCoroSleepAdvancesVirtualTime(t *testing.T) {
+	e := NewEngine()
+	var seen []Time
+	c := e.Spawn("sleeper", func(c *Coro) {
+		seen = append(seen, c.Now())
+		c.Sleep(100)
+		seen = append(seen, c.Now())
+		c.Sleep(0)
+		seen = append(seen, c.Now())
+	})
+	c.Start(10)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []Time{10, 110, 110}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("times = %v, want %v", seen, want)
+		}
+	}
+	if !c.Done() {
+		t.Fatal("coro not done")
+	}
+}
+
+func TestCoroParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var wokeAt Time
+	sleeper := e.Spawn("sleeper", func(c *Coro) {
+		c.Park()
+		wokeAt = c.Now()
+	})
+	waker := e.Spawn("waker", func(c *Coro) {
+		c.Sleep(500)
+		sleeper.Unpark(25)
+	})
+	sleeper.Start(0)
+	waker.Start(0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if wokeAt != 525 {
+		t.Fatalf("woke at %v, want 525", wokeAt)
+	}
+}
+
+func TestUnparkNonParkedPanics(t *testing.T) {
+	e := NewEngine()
+	var recovered interface{}
+	c := e.Spawn("c", func(c *Coro) { c.Sleep(10) })
+	e.At(0, func() {
+		defer func() { recovered = recover() }()
+		c.Unpark(0)
+	})
+	c.Start(5)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if recovered == nil {
+		t.Fatal("Unpark of non-parked coro did not panic")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("stuck", func(c *Coro) { c.Park() })
+	c.Start(0)
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run returned nil for a parked-forever coro")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after Run, want 0 (shutdown must unwind)", e.Live())
+	}
+}
+
+func TestCoroPanicSurfacesAsError(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("boom", func(c *Coro) {
+		c.Sleep(5)
+		panic("kaboom")
+	})
+	c.Start(0)
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run returned nil despite coro panic")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", e.Live())
+	}
+}
+
+func TestShutdownUnwindsUnstartedCoro(t *testing.T) {
+	e := NewEngine()
+	_ = e.Spawn("never-started", func(c *Coro) { c.Sleep(1) })
+	// No events at all: Run must still unwind the spawned goroutine.
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error for never-started coro")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", e.Live())
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("c", func(c *Coro) {})
+	c.Start(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+		// Unwind the spawned goroutine.
+		_ = e.Run()
+	}()
+	c.Start(0)
+}
+
+func TestManyCorosInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 8; i++ {
+			i := i
+			c := e.Spawn("w", func(c *Coro) {
+				for j := 0; j < 5; j++ {
+					c.Sleep(Time(10 + i))
+					log = append(log, string(rune('a'+i))+string(rune('0'+j)))
+				}
+			})
+			c.Start(Time(i))
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 40 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTracerSeesEventsAndCoroLifecycle(t *testing.T) {
+	e := NewEngine()
+	var lines []string
+	e.SetTracer(func(at Time, what string) {
+		lines = append(lines, what)
+	})
+	c := e.Spawn("w", func(c *Coro) { c.Sleep(10) })
+	c.Start(0)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var sawEvent, sawStart, sawDone bool
+	for _, l := range lines {
+		switch {
+		case l == "event":
+			sawEvent = true
+		case l == "coro-start w":
+			sawStart = true
+		case l == "coro-done w":
+			sawDone = true
+		}
+	}
+	if !sawEvent || !sawStart || !sawDone {
+		t.Fatalf("trace missing entries: %v", lines)
+	}
+	// Removing the tracer stops emission.
+	e2 := NewEngine()
+	count := 0
+	e2.SetTracer(func(Time, string) { count++ })
+	e2.SetTracer(nil)
+	e2.At(1, func() {})
+	if err := e2.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 0 {
+		t.Fatalf("tracer fired %d times after removal", count)
+	}
+}

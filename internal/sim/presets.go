@@ -1,0 +1,40 @@
+package sim
+
+// Machine presets for the re-targeting experiments (§2 discusses moving
+// lock objects between architectural platforms, e.g. from UMA to NORMA).
+// All presets share the GP1000's instruction and thread-package costs so
+// that differences isolate the memory architecture.
+
+// GP1000Config is the default NUMA machine: remote references cost 4×
+// local ones through the switch.
+func GP1000Config() Config {
+	return DefaultConfig()
+}
+
+// UMAConfig is a uniform-memory-access machine: every reference costs the
+// same (the GP1000's local latency); remoteness disappears.
+func UMAConfig() Config {
+	c := DefaultConfig()
+	c.RemoteAccess = c.LocalAccess
+	return c
+}
+
+// NORMAConfig approximates a no-remote-memory-access machine where
+// "remote" references are message exchanges: 16× local latency and an
+// expensive atomic. On such a platform spinning on a remote word is
+// prohibitive and blocking (or local-spin) representations win.
+func NORMAConfig() Config {
+	c := DefaultConfig()
+	c.RemoteAccess = 16 * c.LocalAccess
+	c.AtomicExtra = 4 * c.LocalAccess
+	return c
+}
+
+// HotSpotConfig is the GP1000 with memory-module contention enabled:
+// each module serializes accesses at one per 400ns, so a word that many
+// processors spin on becomes a switch hot spot.
+func HotSpotConfig() Config {
+	c := DefaultConfig()
+	c.ModuleService = 400 * Nanosecond
+	return c
+}

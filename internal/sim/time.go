@@ -1,0 +1,60 @@
+// Package sim provides a deterministic discrete-event simulation of a
+// NUMA shared-memory multiprocessor in the style of the BBN Butterfly
+// GP1000 used by Mukherjee and Schwan (HPDC 1993).
+//
+// The simulator has three layers:
+//
+//   - a virtual clock and event engine (Engine),
+//   - coroutine-style simulated execution contexts (Coro) that interleave
+//     with the engine one at a time, making every run race-free and
+//     reproducible, and
+//   - a machine model (Machine, Proc, Cell) that charges virtual time for
+//     computation and for local or remote memory accesses, including the
+//     atomic read-modify-write primitive ("atomior") the Butterfly
+//     hardware provides.
+//
+// Higher layers (the cthreads thread package, the lock family, and the
+// TSP application) run real Go code inside Coros and account for all time
+// through this package, so simulated results are exact functions of the
+// inputs and the machine configuration.
+package sim
+
+import "fmt"
+
+// Time is a duration or instant of virtual time, in nanoseconds.
+//
+// Virtual time is completely decoupled from wall-clock time: it advances
+// only when simulated work is charged through Coro.Sleep, Accessor.Advance,
+// or memory-cell operations.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns the time expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an adaptive unit, e.g. "613ns", "40.79µs",
+// "3207ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}

@@ -1,0 +1,119 @@
+// Package tsp implements the paper's application: the Travelling Sales
+// Person problem solved with the LMSK (Little, Murty, Sweeney, Karel)
+// branch-and-bound algorithm [SBBG89], both as a plain sequential program
+// and as a collection of asynchronous cooperating searcher threads on the
+// simulated multiprocessor, in the paper's three organizations —
+// centralized, distributed, and distributed with load balancing (§4).
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Inf is the "no edge" cost. It is small enough that sums of a few Infs
+// cannot overflow an int64 bound.
+const Inf int64 = 1 << 40
+
+// Instance is a TSP instance: a symmetric cost matrix with an Inf diagonal.
+type Instance struct {
+	N     int
+	Cost  [][]int64
+	Seed  uint64
+	label string
+}
+
+// NewRandomInstance generates a reproducible symmetric instance with edge
+// costs uniform in [1, 99].
+func NewRandomInstance(n int, seed uint64) *Instance {
+	if n < 3 {
+		panic(fmt.Sprintf("tsp: instance needs at least 3 cities, got %d", n))
+	}
+	rng := sim.NewRNG(seed)
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		c[i][i] = Inf
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := int64(rng.Intn(99) + 1)
+			c[i][j] = v
+			c[j][i] = v
+		}
+	}
+	return &Instance{N: n, Cost: c, Seed: seed, label: fmt.Sprintf("random(n=%d,seed=%d)", n, seed)}
+}
+
+// NewEuclideanInstance generates a reproducible instance of n random
+// points on a 1000×1000 plane with (rounded) Euclidean distances.
+// Euclidean instances give the LMSK reduction much looser bounds than
+// uniform random matrices, producing the deep search trees (and hence the
+// sustained lock traffic) the paper's experiments depend on.
+func NewEuclideanInstance(n int, seed uint64) *Instance {
+	if n < 3 {
+		panic(fmt.Sprintf("tsp: instance needs at least 3 cities, got %d", n))
+	}
+	rng := sim.NewRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	c := make([][]int64, n)
+	for i := range c {
+		c[i] = make([]int64, n)
+		c[i][i] = Inf
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			d := int64(math.Sqrt(dx*dx+dy*dy)) + 1
+			c[i][j] = d
+			c[j][i] = d
+		}
+	}
+	return &Instance{N: n, Cost: c, Seed: seed, label: fmt.Sprintf("euclidean(n=%d,seed=%d)", n, seed)}
+}
+
+// String identifies the instance.
+func (in *Instance) String() string {
+	if in.label != "" {
+		return in.label
+	}
+	return fmt.Sprintf("instance(n=%d)", in.N)
+}
+
+// Tour is a Hamiltonian cycle and its cost.
+type Tour struct {
+	Order []int
+	Cost  int64
+}
+
+// Valid checks that the tour visits every city exactly once and that Cost
+// matches the instance.
+func (t Tour) Valid(in *Instance) error {
+	if len(t.Order) != in.N {
+		return fmt.Errorf("tsp: tour visits %d cities, want %d", len(t.Order), in.N)
+	}
+	seen := make([]bool, in.N)
+	var cost int64
+	for i, c := range t.Order {
+		if c < 0 || c >= in.N {
+			return fmt.Errorf("tsp: city %d out of range", c)
+		}
+		if seen[c] {
+			return fmt.Errorf("tsp: city %d visited twice", c)
+		}
+		seen[c] = true
+		next := t.Order[(i+1)%in.N]
+		cost += in.Cost[c][next]
+	}
+	if cost != t.Cost {
+		return fmt.Errorf("tsp: tour cost %d does not match edges (%d)", t.Cost, cost)
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+package tsp
+
+// This file implements the LMSK branch-and-bound machinery: search-tree
+// nodes carrying a reduced cost matrix and a lower bound, matrix
+// reduction, penalty-based branching-edge selection, and node expansion
+// into include/exclude children (with subtour elimination) or a completed
+// tour.
+
+// Edge is a directed edge of the (symmetric, but LMSK-treated-as-directed)
+// tour under construction.
+type Edge struct {
+	From, To int
+}
+
+// Node is one subproblem of the search tree: the set of still-active rows
+// and columns of the reduced cost matrix, the edges already committed, and
+// the lower bound on any tour below this node.
+type Node struct {
+	inst *Instance
+	// rows and cols map matrix indices to city numbers.
+	rows, cols []int
+	// m is the reduced cost matrix, len(rows)×len(cols), row-major.
+	m []int64
+	// Bound is the lower bound of the subproblem.
+	Bound int64
+	// Edges are the committed (included) edges.
+	Edges []Edge
+	// nxt and prv are successor/predecessor city arrays (-1 = none),
+	// tracking committed path fragments for subtour elimination.
+	nxt, prv []int
+	// Seq is an insertion sequence number used to break bound ties
+	// deterministically in priority queues.
+	Seq uint64
+}
+
+// Size returns the number of active rows (remaining branching depth).
+func (n *Node) Size() int { return len(n.rows) }
+
+// at returns m[r][c] by matrix index.
+func (n *Node) at(r, c int) int64 { return n.m[r*len(n.cols)+c] }
+
+// set writes m[r][c].
+func (n *Node) set(r, c int, v int64) { n.m[r*len(n.cols)+c] = v }
+
+// NewRoot builds the root subproblem: the full cost matrix, reduced.
+func NewRoot(in *Instance) *Node {
+	n := &Node{
+		inst: in,
+		rows: make([]int, in.N),
+		cols: make([]int, in.N),
+		m:    make([]int64, in.N*in.N),
+		nxt:  make([]int, in.N),
+		prv:  make([]int, in.N),
+	}
+	for i := 0; i < in.N; i++ {
+		n.rows[i] = i
+		n.cols[i] = i
+		n.nxt[i] = -1
+		n.prv[i] = -1
+		copy(n.m[i*in.N:(i+1)*in.N], in.Cost[i])
+	}
+	n.reduce()
+	return n
+}
+
+// clone deep-copies the node.
+func (n *Node) clone() *Node {
+	c := &Node{
+		inst:  n.inst,
+		rows:  append([]int(nil), n.rows...),
+		cols:  append([]int(nil), n.cols...),
+		m:     append([]int64(nil), n.m...),
+		Bound: n.Bound,
+		Edges: append([]Edge(nil), n.Edges...),
+		nxt:   append([]int(nil), n.nxt...),
+		prv:   append([]int(nil), n.prv...),
+	}
+	return c
+}
+
+// reduce subtracts each row's and then each column's minimum, adding the
+// total reduction to the bound. A row or column with no finite entry makes
+// the subproblem infeasible (Bound ≥ Inf).
+func (n *Node) reduce() {
+	nr, nc := len(n.rows), len(n.cols)
+	for r := 0; r < nr; r++ {
+		min := Inf
+		for c := 0; c < nc; c++ {
+			if v := n.at(r, c); v < min {
+				min = v
+			}
+		}
+		if min >= Inf {
+			n.Bound = Inf
+			return
+		}
+		if min > 0 {
+			for c := 0; c < nc; c++ {
+				if v := n.at(r, c); v < Inf {
+					n.set(r, c, v-min)
+				}
+			}
+			n.Bound += min
+		}
+	}
+	for c := 0; c < nc; c++ {
+		min := Inf
+		for r := 0; r < nr; r++ {
+			if v := n.at(r, c); v < min {
+				min = v
+			}
+		}
+		if min >= Inf {
+			n.Bound = Inf
+			return
+		}
+		if min > 0 {
+			for r := 0; r < nr; r++ {
+				if v := n.at(r, c); v < Inf {
+					n.set(r, c, v-min)
+				}
+			}
+			n.Bound += min
+		}
+	}
+}
+
+// pivot selects the branching zero cell: the zero whose exclusion would
+// raise the bound the most (maximum penalty = row second-minimum + column
+// second-minimum). Returns matrix indices and the penalty; ok=false if the
+// matrix has no zero (infeasible).
+func (n *Node) pivot() (pr, pc int, penalty int64, ok bool) {
+	nr, nc := len(n.rows), len(n.cols)
+	best := int64(-1)
+	for r := 0; r < nr; r++ {
+		for c := 0; c < nc; c++ {
+			if n.at(r, c) != 0 {
+				continue
+			}
+			rowMin := Inf
+			for c2 := 0; c2 < nc; c2++ {
+				if c2 != c && n.at(r, c2) < rowMin {
+					rowMin = n.at(r, c2)
+				}
+			}
+			colMin := Inf
+			for r2 := 0; r2 < nr; r2++ {
+				if r2 != r && n.at(r2, c) < colMin {
+					colMin = n.at(r2, c)
+				}
+			}
+			p := rowMin + colMin
+			if p > Inf {
+				p = Inf
+			}
+			if p > best {
+				best, pr, pc = p, r, c
+			}
+		}
+	}
+	if best < 0 {
+		return 0, 0, 0, false
+	}
+	return pr, pc, best, true
+}
+
+// exclude builds the child with edge (rows[pr] → cols[pc]) forbidden.
+func (n *Node) exclude(pr, pc int) *Node {
+	c := n.clone()
+	c.set(pr, pc, Inf)
+	c.reduce()
+	return c
+}
+
+// include builds the child that commits edge (rows[pr] → cols[pc]): the
+// row and column are deleted, the path fragments are merged, and the edge
+// that would close a premature subtour is forbidden.
+func (n *Node) include(pr, pc int) *Node {
+	from, to := n.rows[pr], n.cols[pc]
+	nr, nc := len(n.rows), len(n.cols)
+
+	c := &Node{
+		inst:  n.inst,
+		rows:  make([]int, 0, nr-1),
+		cols:  make([]int, 0, nc-1),
+		m:     make([]int64, 0, (nr-1)*(nc-1)),
+		Bound: n.Bound,
+		Edges: append(append([]Edge(nil), n.Edges...), Edge{From: from, To: to}),
+		nxt:   append([]int(nil), n.nxt...),
+		prv:   append([]int(nil), n.prv...),
+	}
+	for r := 0; r < nr; r++ {
+		if r != pr {
+			c.rows = append(c.rows, n.rows[r])
+		}
+	}
+	for cc := 0; cc < nc; cc++ {
+		if cc != pc {
+			c.cols = append(c.cols, n.cols[cc])
+		}
+	}
+	for r := 0; r < nr; r++ {
+		if r == pr {
+			continue
+		}
+		for cc := 0; cc < nc; cc++ {
+			if cc == pc {
+				continue
+			}
+			c.m = append(c.m, n.at(r, cc))
+		}
+	}
+
+	// Merge fragments and forbid the closing edge end→start while the
+	// tour is incomplete.
+	c.nxt[from] = to
+	c.prv[to] = from
+	start := from
+	for c.prv[start] != -1 {
+		start = c.prv[start]
+	}
+	end := to
+	for c.nxt[end] != -1 {
+		end = c.nxt[end]
+	}
+	if len(c.Edges) < n.inst.N-1 {
+		if er, ok := c.rowIndex(end); ok {
+			if sc, ok2 := c.colIndex(start); ok2 {
+				c.set(er, sc, Inf)
+			}
+		}
+	}
+	c.reduce()
+	return c
+}
+
+// rowIndex finds the matrix row of a city.
+func (n *Node) rowIndex(city int) (int, bool) {
+	for i, r := range n.rows {
+		if r == city {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// colIndex finds the matrix column of a city.
+func (n *Node) colIndex(city int) (int, bool) {
+	for i, c := range n.cols {
+		if c == city {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// complete finishes a size-2 node: the two remaining edges are forced.
+// Returns nil if neither assignment is feasible.
+func (n *Node) complete() *Tour {
+	if len(n.rows) != 2 || len(n.cols) != 2 {
+		panic("tsp: complete on node of wrong size")
+	}
+	// Two possible assignments; pick the feasible (cheaper) one.
+	a := n.at(0, 0) + n.at(1, 1)
+	b := n.at(0, 1) + n.at(1, 0)
+	var pairs [2]Edge
+	var add int64
+	switch {
+	case a < Inf && (b >= Inf || a <= b):
+		pairs = [2]Edge{{n.rows[0], n.cols[0]}, {n.rows[1], n.cols[1]}}
+		add = a
+	case b < Inf:
+		pairs = [2]Edge{{n.rows[0], n.cols[1]}, {n.rows[1], n.cols[0]}}
+		add = b
+	default:
+		return nil
+	}
+	nxt := append([]int(nil), n.nxt...)
+	for _, e := range pairs {
+		nxt[e.From] = e.To
+	}
+	order := make([]int, 0, n.inst.N)
+	city := 0
+	for i := 0; i < n.inst.N; i++ {
+		order = append(order, city)
+		city = nxt[city]
+		if city == -1 {
+			return nil // broken chain: infeasible assignment
+		}
+	}
+	if city != 0 {
+		return nil // did not close the cycle
+	}
+	var cost int64
+	for i, c := range order {
+		cost += n.inst.Cost[c][order[(i+1)%n.inst.N]]
+	}
+	_ = add
+	return &Tour{Order: order, Cost: cost}
+}
+
+// ExpandResult is the outcome of expanding one node.
+type ExpandResult struct {
+	// Children are the feasible subproblems (bound < Inf), best first.
+	Children []*Node
+	// Tour is non-nil when the node completed a tour.
+	Tour *Tour
+	// Work approximates the cells touched, for simulation time charging.
+	Work int
+}
+
+// Expand performs one LMSK branching step.
+func (n *Node) Expand() ExpandResult {
+	k := len(n.rows)
+	res := ExpandResult{Work: 3 * k * k}
+	if n.Bound >= Inf {
+		return res
+	}
+	if k == 2 {
+		res.Tour = n.complete()
+		return res
+	}
+	pr, pc, penalty, ok := n.pivot()
+	if !ok {
+		return res
+	}
+	inc := n.include(pr, pc)
+	if inc.Bound < Inf {
+		res.Children = append(res.Children, inc)
+	}
+	exc := n.exclude(pr, pc)
+	_ = penalty
+	if exc.Bound < Inf {
+		res.Children = append(res.Children, exc)
+	}
+	return res
+}

@@ -1,0 +1,183 @@
+package tsp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRootBoundIsAdmissible(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		in := NewRandomInstance(8, seed)
+		root := NewRoot(in)
+		opt := SolveBruteForce(in)
+		if root.Bound > opt.Cost {
+			t.Fatalf("seed %d: root bound %d exceeds optimum %d", seed, root.Bound, opt.Cost)
+		}
+	}
+}
+
+func TestSolveSerialMatchesBruteForce(t *testing.T) {
+	for n := 4; n <= 9; n++ {
+		for seed := uint64(1); seed <= 10; seed++ {
+			in := NewRandomInstance(n, seed)
+			got := SolveSerial(in)
+			want := SolveBruteForce(in)
+			if got.Tour.Cost != want.Cost {
+				t.Fatalf("n=%d seed=%d: LMSK cost %d, brute force %d", n, seed, got.Tour.Cost, want.Cost)
+			}
+			if err := got.Tour.Valid(in); err != nil {
+				t.Fatalf("n=%d seed=%d: invalid tour: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestSolveSerialLargerInstances(t *testing.T) {
+	for _, n := range []int{12, 14} {
+		in := NewRandomInstance(n, 7)
+		res := SolveSerial(in)
+		if err := res.Tour.Valid(in); err != nil {
+			t.Fatalf("n=%d: invalid tour: %v", n, err)
+		}
+		if res.Expansions <= n {
+			t.Fatalf("n=%d: suspiciously few expansions (%d)", n, res.Expansions)
+		}
+	}
+}
+
+func TestChildBoundsMonotonic(t *testing.T) {
+	in := NewRandomInstance(10, 3)
+	var h nodeHeap
+	h.push(NewRoot(in))
+	for i := 0; i < 200; i++ {
+		n := h.pop()
+		if n == nil {
+			break
+		}
+		out := n.Expand()
+		for _, c := range out.Children {
+			if c.Bound < n.Bound {
+				t.Fatalf("child bound %d below parent bound %d", c.Bound, n.Bound)
+			}
+			h.push(c)
+		}
+	}
+}
+
+func TestExpandCompletesValidTours(t *testing.T) {
+	in := NewRandomInstance(6, 11)
+	var h nodeHeap
+	h.push(NewRoot(in))
+	tours := 0
+	for {
+		n := h.pop()
+		if n == nil {
+			break
+		}
+		out := n.Expand()
+		if out.Tour != nil {
+			tours++
+			if err := out.Tour.Valid(in); err != nil {
+				t.Fatalf("completed tour invalid: %v", err)
+			}
+			if out.Tour.Cost < n.Bound {
+				t.Fatalf("tour cost %d below node bound %d", out.Tour.Cost, n.Bound)
+			}
+		}
+		for _, c := range out.Children {
+			h.push(c)
+		}
+	}
+	if tours == 0 {
+		t.Fatal("exhaustive expansion produced no tour")
+	}
+}
+
+func TestNodeHeapOrdering(t *testing.T) {
+	var h nodeHeap
+	in := NewRandomInstance(4, 1)
+	for _, b := range []int64{50, 10, 30, 10, 90} {
+		n := NewRoot(in)
+		n.Bound = b
+		h.push(n)
+	}
+	var got []int64
+	for n := h.pop(); n != nil; n = h.pop() {
+		got = append(got, n.Bound)
+	}
+	want := []int64{10, 10, 30, 50, 90}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("heap order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTourValidation(t *testing.T) {
+	in := NewRandomInstance(5, 2)
+	good := SolveBruteForce(in)
+	if err := good.Valid(in); err != nil {
+		t.Fatalf("optimal tour invalid: %v", err)
+	}
+	bad := Tour{Order: []int{0, 1, 1, 3, 4}, Cost: good.Cost}
+	if bad.Valid(in) == nil {
+		t.Fatal("duplicate-city tour validated")
+	}
+	short := Tour{Order: []int{0, 1, 2}, Cost: 10}
+	if short.Valid(in) == nil {
+		t.Fatal("short tour validated")
+	}
+	wrongCost := Tour{Order: good.Order, Cost: good.Cost + 1}
+	if wrongCost.Valid(in) == nil {
+		t.Fatal("wrong-cost tour validated")
+	}
+}
+
+func TestInstanceSymmetricAndReproducible(t *testing.T) {
+	a := NewRandomInstance(10, 5)
+	b := NewRandomInstance(10, 5)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if a.Cost[i][j] != b.Cost[i][j] {
+				t.Fatal("same-seed instances differ")
+			}
+			if a.Cost[i][j] != a.Cost[j][i] {
+				t.Fatal("instance not symmetric")
+			}
+			if i == j && a.Cost[i][j] != Inf {
+				t.Fatal("diagonal not Inf")
+			}
+		}
+	}
+}
+
+// Property: for random small instances the LMSK optimum always matches
+// brute force and every bound on the optimal path is admissible.
+func TestLMSKOptimalityProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%5) + 4 // 4..8
+		in := NewRandomInstance(n, uint64(seed)+1)
+		return SolveSerial(in).Tour.Cost == SolveBruteForce(in).Cost
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the greedy tour is always valid and never better than the
+// LMSK optimum.
+func TestGreedyTourUpperBoundProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%6) + 4
+		in := NewRandomInstance(n, uint64(seed)+1)
+		g := GreedyTour(in)
+		if g.Valid(in) != nil {
+			return false
+		}
+		return g.Cost >= SolveSerial(in).Tour.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
