@@ -10,8 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/locks"
@@ -21,10 +23,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptdemo: ")
-	procs := flag.Int("procs", 8, "processors")
+	procs := cli.ProcsFlag(flag.CommandLine, 8)
+	tf := cli.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	sys := cthreads.New(sim.Config{Nodes: *procs})
+	tracer := tf.Tracer()
+	sys.SetTracer(tracer)
 	policy := core.SimpleAdapt{SpinAttr: locks.AttrSpinTime, WaitingThreshold: 2, Step: 10, MaxSpin: 100}
 	l := locks.NewAdaptiveLock(sys, 0, "demo-lock", locks.DefaultCosts(), policy)
 
@@ -92,4 +97,7 @@ func main() {
 	fmt.Printf("\npolicy decisions=%d applied=%d rejected=%d; reconfiguration cost=%s\n",
 		st.Decisions, st.Applied, st.Rejected, l.Object().ReconfigCost())
 	fmt.Printf("final configuration: %s\n", l.Object().Configuration())
+	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	lockbench [-table 4|5|6|7|8|all] [-iters N]
+//	lockbench [-table 4|5|6|7|8|all] [-iters N] [-procs N]
+//	          [-trace FILE] [-trace-reports]
 package main
 
 import (
@@ -12,7 +13,9 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -20,9 +23,15 @@ func main() {
 	log.SetPrefix("lockbench: ")
 	table := flag.String("table", "all", "table to regenerate: 4, 5, 6, 7, 8, or all")
 	iters := flag.Int("iters", 16, "repetitions per measured operation")
+	procs := cli.ProcsFlag(flag.CommandLine, 0)
+	tf := cli.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
-	opts := experiments.Options{Iters: *iters}
+	tracer := tf.Tracer()
+	opts := experiments.Options{Iters: *iters, Tracer: tracer}
+	if *procs > 0 {
+		opts.Machine = sim.Config{Nodes: *procs}
+	}
 	want := func(t string) bool { return *table == "all" || *table == t }
 	printed := false
 
@@ -69,5 +78,8 @@ func main() {
 	if !printed {
 		fmt.Fprintf(os.Stderr, "lockbench: unknown -table %q (want 4, 5, 6, 7, 8, or all)\n", *table)
 		os.Exit(2)
+	}
+	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/tsp"
 )
@@ -25,7 +26,7 @@ func main() {
 	log.SetPrefix("tspbench: ")
 	impl := flag.String("impl", "all", "implementation: central, dist, distlb, or all")
 	cities := flag.Int("cities", 16, "number of cities (the paper used 32)")
-	seed := flag.Uint64("seed", 1, "instance seed")
+	seed := cli.SeedFlag(flag.CommandLine, 1)
 	searchers := flag.Int("searchers", 10, "searcher threads, one per processor (paper: 10)")
 	uniform := flag.Bool("uniform", false, "uniform random instance instead of Euclidean")
 	steps := flag.Int("steps", 0, "instruction steps per expansion work unit (0 = calibrated default)")
@@ -33,14 +34,17 @@ func main() {
 	scaling := flag.Bool("scaling", false, "also sweep searcher counts (gain vs. processors)")
 	file := flag.String("file", "", "TSPLIB file (EUC_2D or FULL_MATRIX) to solve instead of a generated instance")
 	csvdir := flag.String("csvdir", "", "with -patterns, also write each figure's series as CSV into this directory")
+	tf := cli.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
+	tracer := tf.Tracer()
 	opts := experiments.TSPOptions{
 		Cities:           *cities,
 		Seed:             *seed,
 		Searchers:        *searchers,
 		Uniform:          *uniform,
 		StepsPerWorkUnit: *steps,
+		Tracer:           tracer,
 	}
 	if *file != "" {
 		f, err := os.Open(*file)
@@ -127,6 +131,10 @@ func main() {
 				fmt.Printf("  wrote %s\n", path)
 			}
 		}
+	}
+
+	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }
 

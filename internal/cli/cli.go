@@ -1,0 +1,100 @@
+// Package cli centralizes the flag plumbing shared by the cmd/ binaries:
+// the -trace family (path, capacity, category selection, derived reports),
+// the deterministic -seed, and the -procs processor count. Each binary
+// registers what it needs through these helpers so flag names, defaults,
+// and usage strings stay consistent across lockbench, tspbench, adaptdemo,
+// and figures.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Trace holds the values of the shared -trace* flags.
+type Trace struct {
+	// Path is the -trace output file; empty means tracing is off.
+	Path string
+	// Capacity bounds the event buffer (-trace-capacity).
+	Capacity int
+	// Engine includes raw engine schedule/fire events (-trace-engine).
+	Engine bool
+	// Reports prints trace-derived reports after the run (-trace-reports).
+	Reports bool
+}
+
+// TraceFlags registers the shared tracing flags on fs and returns the
+// struct they fill in at Parse time.
+func TraceFlags(fs *flag.FlagSet) *Trace {
+	tf := &Trace{}
+	fs.StringVar(&tf.Path, "trace", "",
+		"write a virtual-time event trace to this file (.json = Chrome/Perfetto format, otherwise text)")
+	fs.IntVar(&tf.Capacity, "trace-capacity", trace.DefaultCapacity,
+		"maximum buffered trace events; events past the cap are dropped and counted")
+	fs.BoolVar(&tf.Engine, "trace-engine", false,
+		"include raw engine schedule/fire events in the trace (verbose)")
+	fs.BoolVar(&tf.Reports, "trace-reports", false,
+		"with -trace, also print trace-derived reports (utilization, contention, adaptation lag)")
+	return tf
+}
+
+// Tracer builds a tracer according to the parsed flags, or returns nil
+// when tracing is off — the nil tracer is free on every hot path.
+func (tf *Trace) Tracer() *trace.Tracer {
+	if tf.Path == "" {
+		return nil
+	}
+	tr := trace.New(tf.Capacity)
+	if tf.Engine {
+		tr.SetMask(trace.CatAll)
+	}
+	return tr
+}
+
+// Flush writes the collected trace to the configured path — Chrome JSON
+// when the path ends in .json, plain text otherwise — and, when
+// -trace-reports is set, prints the derived reports to w. A nil tracer or
+// empty path is a no-op.
+func (tf *Trace) Flush(tr *trace.Tracer, w io.Writer) error {
+	if tr == nil || tf.Path == "" {
+		return nil
+	}
+	f, err := os.Create(tf.Path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(tf.Path), ".json") {
+		err = tr.WriteChrome(f)
+	} else {
+		err = tr.WriteText(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if tf.Reports && w != nil {
+		fmt.Fprintf(w, "\n%s\n%s\n%s",
+			trace.RenderUtilization(tr.UtilizationTimeline(60), tr.End()),
+			trace.RenderContention(tr.ContentionProfile()),
+			trace.RenderLag(tr.AdaptationLag()))
+	}
+	return nil
+}
+
+// SeedFlag registers the shared deterministic-seed flag.
+func SeedFlag(fs *flag.FlagSet, def uint64) *uint64 {
+	return fs.Uint64("seed", def, "deterministic simulation seed")
+}
+
+// ProcsFlag registers the shared processor-count flag.
+func ProcsFlag(fs *flag.FlagSet, def int) *int {
+	return fs.Int("procs", def, "simulated processors")
+}

@@ -134,6 +134,9 @@ type Object struct {
 	Monitor *Monitor
 	policy  Policy
 
+	onSample func(Sample)
+	onApply  func(Decision, OwnerID, error)
+
 	decisions   uint64
 	applied     uint64
 	rejected    uint64
@@ -166,8 +169,22 @@ func (o *Object) SetPolicy(p Policy) { o.policy = p }
 // Policy returns the installed adaptation policy.
 func (o *Object) Policy() Policy { return o.policy }
 
+// OnSample installs an observation hook invoked with every monitor sample
+// entering the feedback loop, before the policy reacts. It exists for
+// observability (the trace layer); it must not reconfigure the object.
+func (o *Object) OnSample(fn func(Sample)) { o.onSample = fn }
+
+// OnApply installs an observation hook invoked after every reconfiguration
+// attempt (Ψ), with the decision, the acting agent, and the outcome (nil
+// on success). It exists for observability; it must not reconfigure the
+// object.
+func (o *Object) OnApply(fn func(Decision, OwnerID, error)) { o.onApply = fn }
+
 // feedback is the closely-coupled loop body: sample → policy → apply.
 func (o *Object) feedback(s Sample) {
+	if o.onSample != nil {
+		o.onSample(s)
+	}
 	if o.policy == nil {
 		return
 	}
@@ -182,7 +199,10 @@ func (o *Object) feedback(s Sample) {
 // Apply executes one reconfiguration decision Ψ on behalf of the given
 // agent, accumulating its read/write cost. Attribute decisions respect
 // mutability and ownership; method decisions respect the variant registry.
-func (o *Object) Apply(d Decision, by OwnerID) error {
+func (o *Object) Apply(d Decision, by OwnerID) (err error) {
+	if o.onApply != nil {
+		defer func() { o.onApply(d, by, err) }()
+	}
 	if d.Attr != "" {
 		if err := o.Attrs.Set(d.Attr, d.Value, by); err != nil {
 			return err

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // State is a thread's scheduling state.
@@ -64,11 +65,12 @@ type Stats struct {
 
 // System is a thread package instance bound to one simulated machine.
 type System struct {
-	mach  *sim.Machine
-	eng   *sim.Engine
-	procs []*Processor
-	all   []*Thread
-	stats Stats
+	mach   *sim.Machine
+	eng    *sim.Engine
+	procs  []*Processor
+	all    []*Thread
+	stats  Stats
+	tracer *trace.Tracer
 }
 
 // New creates a machine from cfg and a thread system on top of it, with one
@@ -102,6 +104,36 @@ func (s *System) Proc(p int) *Processor { return s.procs[p] }
 // Stats returns scheduling counters accumulated so far.
 func (s *System) Stats() Stats { return s.stats }
 
+// SetTracer attaches (or, with nil, detaches) a structured event tracer.
+// Thread lifecycle and state transitions are recorded from this point on;
+// locks and monitors built on this system pick the tracer up through
+// Tracer. When the tracer's mask includes engine events, the engine's
+// trace hook is installed too.
+func (s *System) SetTracer(tr *trace.Tracer) {
+	s.tracer = tr
+	if tr != nil && tr.Enabled(trace.CatEngine) {
+		s.eng.SetTracer(tr.EngineHook())
+	} else if tr == nil {
+		s.eng.SetTracer(nil)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled). The
+// nil tracer is safe to emit to, so callers need not check.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// traceThread records one thread-lifecycle event.
+func (s *System) traceThread(kind trace.Kind, t *Thread, name string, a int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(trace.Event{
+		At: s.eng.Now(), Kind: kind,
+		Proc: int32(t.proc.id), Thread: int32(t.id),
+		Name: name, A: a,
+	})
+}
+
 // Threads returns all threads ever forked, in fork order.
 func (s *System) Threads() []*Thread { return s.all }
 
@@ -120,6 +152,7 @@ func (s *System) Fork(proc int, name string, fn func(t *Thread)) *Thread {
 	})
 	s.all = append(s.all, t)
 	s.stats.Forks++
+	s.traceThread(trace.KindThreadFork, t, name, 0)
 	p.enqueue(t)
 	p.maybeSchedule()
 	return t

@@ -1,6 +1,9 @@
 package cthreads
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // Processor is one node of the simulated machine running threads from a
 // FIFO ready queue. Processor i executes on (and is local to) memory node i.
@@ -35,6 +38,7 @@ func (p *Processor) Switches() int { return p.switches }
 func (p *Processor) enqueue(t *Thread) {
 	t.state = StateReady
 	p.ready = append(p.ready, t)
+	p.sys.traceThread(trace.KindThreadReady, t, "", 0)
 }
 
 // maybeSchedule arranges a dispatch after the context-switch cost if the
@@ -70,6 +74,7 @@ func (p *Processor) dispatch() {
 	}
 	t.state = StateRunning
 	t.sliceLeft = p.sys.mach.Config().Quantum
+	p.sys.traceThread(trace.KindThreadRun, t, "", 0)
 	if !t.started {
 		t.started = true
 		t.coro.Start(0)

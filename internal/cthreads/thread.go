@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Thread is a user-level thread pinned to one processor of the simulated
@@ -149,6 +150,7 @@ func (t *Thread) Block() {
 	t.state = StateBlocked
 	t.blockedAt = t.sys.eng.Now()
 	t.timedOut = false
+	t.sys.traceThread(trace.KindThreadBlock, t, "", 0)
 	t.proc.release()
 	t.coro.Park()
 }
@@ -163,6 +165,7 @@ func (t *Thread) BlockTimeout(d sim.Time) (timedOut bool) {
 	t.state = StateBlocked
 	t.blockedAt = t.sys.eng.Now()
 	t.timedOut = false
+	t.sys.traceThread(trace.KindThreadBlock, t, "", int64(d))
 	t.sys.eng.After(d, func() {
 		if t.state == StateBlocked && t.blockGen == gen {
 			t.timedOut = true
@@ -224,5 +227,6 @@ func (t *Thread) exit() {
 	}
 	t.joiners = nil
 	t.state = StateDone
+	t.sys.traceThread(trace.KindThreadDone, t, "", 0)
 	t.proc.release()
 }

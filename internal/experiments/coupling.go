@@ -8,6 +8,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // CouplingRow is one feedback-loop structure's performance on the
@@ -79,6 +80,18 @@ func couplingWorkload(sys *cthreads.System, l locks.Lock, procs int,
 // cannot track faster locking-pattern changes, while the inline loop's
 // lag is structurally zero.
 func CouplingComparison(machine sim.Config) ([]CouplingRow, error) {
+	return CouplingComparisonTraced(machine, nil)
+}
+
+// CouplingComparisonTraced is CouplingComparison with an optional tracer
+// attached to both systems. The two runs are sequential, so their events
+// share one virtual timeline restarting at zero; AdaptationLag separates
+// them by lock name ("tight" vs "loose"). In the loose run the monitor
+// thread emits a KindSample carrying the record's *collection* time just
+// before running the policy, so the trace-derived lag is the §5.1
+// trace-pipeline delay; the tight lock's inline samples carry the
+// consumption time and its lag is structurally near zero.
+func CouplingComparisonTraced(machine sim.Config, tr *trace.Tracer) ([]CouplingRow, error) {
 	const procs = 8
 	if machine.Quantum == 0 {
 		machine.Quantum = 500 * sim.Microsecond
@@ -91,6 +104,7 @@ func CouplingComparison(machine sim.Config) ([]CouplingRow, error) {
 		tight.Nodes = procs
 	}
 	tightSys := cthreads.New(tight)
+	tightSys.SetTracer(tr)
 	tightLock := locks.NewAdaptiveLock(tightSys, 0, "tight", locks.DefaultCosts(), policy)
 	tightDone := couplingWorkload(tightSys, tightLock, procs, nil)
 	if err := tightSys.Run(); err != nil {
@@ -104,6 +118,7 @@ func CouplingComparison(machine sim.Config) ([]CouplingRow, error) {
 		loose.Nodes = procs + 1
 	}
 	looseSys := cthreads.New(loose)
+	looseSys.SetTracer(tr)
 	looseLock := locks.NewReconfigurableLock(looseSys, 0, "loose", locks.DefaultCosts(), locks.DefaultInitialSpins)
 	// The general-purpose monitor is built for trace collection, not
 	// control: it batches records and polls at millisecond granularity
@@ -116,6 +131,14 @@ func CouplingComparison(machine sim.Config) ([]CouplingRow, error) {
 		CentralForwardSteps: 400,
 	})
 	mon.Subscribe(func(mt *cthreads.Thread, r monitor.Record) {
+		if str := looseSys.Tracer(); str != nil {
+			// The sample enters the policy now, but was collected at r.At:
+			// the A field carries collection time so AdaptationLag reports
+			// the pipeline's decision lag.
+			str.Emit(trace.Event{At: mt.Now(), Kind: trace.KindSample,
+				Proc: int32(mt.Node()), Thread: int32(mt.ID()),
+				Name: "loose", A: int64(r.At), B: r.Value})
+		}
 		sample := core.Sample{Sensor: locks.SensorWaiting, Value: r.Value}
 		for _, d := range policy.React(sample, looseLock.Object()) {
 			// The monitor thread enacts the reconfiguration, paying the

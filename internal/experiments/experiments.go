@@ -16,6 +16,7 @@ import (
 	"repro/internal/cthreads"
 	"repro/internal/locks"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options configures the microbenchmark experiments.
@@ -28,6 +29,10 @@ type Options struct {
 	// Iters is how many times each operation is repeated and averaged
 	// (adaptive locks reach steady state after a few samples).
 	Iters int
+	// Tracer, when non-nil, is attached to every measured system; the
+	// microbenchmarks run many short simulations, so their events share
+	// one virtual timeline restarting at zero per measurement.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +90,7 @@ func kindLabel(k locks.Kind) string {
 // uncontended lock/unlock cycles.
 func measureOp(opts Options, kind locks.Kind, threadNode int, op string) (sim.Time, error) {
 	sys := cthreads.New(opts.Machine)
+	sys.SetTracer(opts.Tracer)
 	l, err := locks.New(sys, kind, 0, string(kind), *opts.Costs)
 	if err != nil {
 		return 0, err
@@ -165,6 +171,7 @@ func measureCycle(opts Options, mk cycleLock, lockNode int) (sim.Time, error) {
 		opts.Machine.Nodes = 3
 	}
 	sys := cthreads.New(opts.Machine)
+	sys.SetTracer(opts.Tracer)
 	l := mk(sys, lockNode, *opts.Costs)
 	var releaseAt, acquiredAt sim.Time
 	holder := sys.Fork(0, "holder", func(t *cthreads.Thread) {
@@ -262,6 +269,7 @@ func Table8(opts Options) ([]ConfigOpRow, error) {
 	opts = opts.withDefaults()
 	measure := func(threadNode int, f func(t *cthreads.Thread, l *locks.ReconfigurableLock)) (sim.Time, error) {
 		sys := cthreads.New(opts.Machine)
+		sys.SetTracer(opts.Tracer)
 		l := locks.NewReconfigurableLock(sys, 0, "cfg", *opts.Costs, 10)
 		var dur sim.Time
 		sys.Fork(threadNode, "agent", func(t *cthreads.Thread) {

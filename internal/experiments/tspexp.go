@@ -6,6 +6,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/tsp"
 )
 
@@ -29,6 +30,11 @@ type TSPOptions struct {
 	StepsPerWorkUnit int
 	// RecordPatterns collects the waiting-thread series (Figures 4–9).
 	RecordPatterns bool
+	// Tracer, when non-nil, records the *adaptive* solve of each
+	// comparison (the run whose feedback loop produces reconfiguration
+	// events; attaching one tracer to both runs would interleave two
+	// virtual timelines).
+	Tracer *trace.Tracer
 }
 
 func (o TSPOptions) withDefaults() TSPOptions {
@@ -90,7 +96,7 @@ func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
 	opts = opts.withDefaults()
 	in := opts.instance()
 	run := func(kind locks.Kind) (tsp.Result, error) {
-		return tsp.Solve(tsp.Config{
+		cfg := tsp.Config{
 			Instance:         in,
 			Searchers:        opts.Searchers,
 			Org:              org,
@@ -98,7 +104,11 @@ func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
 			Machine:          opts.Machine,
 			StepsPerWorkUnit: opts.StepsPerWorkUnit,
 			RecordPatterns:   opts.RecordPatterns,
-		})
+		}
+		if kind == locks.KindAdaptive {
+			cfg.Tracer = opts.Tracer
+		}
+		return tsp.Solve(cfg)
 	}
 	row := TSPRow{Org: org}
 	var err error

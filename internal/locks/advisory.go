@@ -142,6 +142,7 @@ func (l *AdvisoryLock) lockInternal(t *cthreads.Thread, expectedHold sim.Time) {
 		}
 		l.stats.Blocks++
 		if !w.granted {
+			l.traceBlocked(t)
 			t.Block()
 		}
 		t.Compute(l.costs.PostWakeSteps)
@@ -159,6 +160,7 @@ func (l *AdvisoryLock) Unlock(t *cthreads.Thread) {
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.chargeAccesses(t, 1)
 	l.owner = nil
+	l.traceRelease(t)
 	l.flag.Store(t, 0)
 	if w := l.q.pick(SchedFCFS, nil); w != nil {
 		w.granted = true

@@ -44,6 +44,7 @@ func (l *BlockingLock) Lock(t *cthreads.Thread) {
 		}
 		if !w.granted {
 			l.stats.Blocks++
+			l.traceBlocked(t)
 			t.Block()
 		}
 		// Woken: the releaser handed the lock over directly (the word
@@ -67,6 +68,7 @@ func (l *BlockingLock) Unlock(t *cthreads.Thread) {
 	t.Compute(l.costs.BlockUnlockSteps)
 	l.chargeAccesses(t, 1) // inspect the queue head
 	l.owner = nil
+	l.traceRelease(t)
 	for {
 		if w := l.q.pick(SchedFCFS, nil); w != nil {
 			w.granted = true

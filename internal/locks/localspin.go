@@ -90,6 +90,7 @@ func (l *LocalSpinLock) Unlock(t *cthreads.Thread) {
 	t.Compute(l.costs.SpinUnlockSteps)
 	qn := l.qnodeFor(t)
 	l.owner = nil
+	l.traceRelease(t)
 	if qn.next == nil {
 		// No known successor: try to swing tail back to nil (one RMW).
 		l.tailCell.AtomicOr(t, 1)

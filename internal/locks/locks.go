@@ -17,6 +17,7 @@ import (
 	"repro/internal/cthreads"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Lock is a mutual-exclusion lock usable from simulated threads.
@@ -108,6 +109,7 @@ func (b *base) observe(t *cthreads.Thread, waiting int) {
 	if b.observer != nil {
 		b.observer(t.Now(), waiting)
 	}
+	b.traceLock(t, trace.KindLockRequest, int64(waiting), 0)
 }
 
 // acquired finishes bookkeeping for a successful acquisition.
@@ -122,6 +124,37 @@ func (b *base) acquired(t *cthreads.Thread, start sim.Time, wasContended bool) {
 	if b.waitHist != nil {
 		b.waitHist.Record(wait)
 	}
+	var contended int64
+	if wasContended {
+		contended = 1
+	}
+	b.traceLock(t, trace.KindLockAcquire, int64(wait), contended)
+}
+
+// traceLock records one lock event against the calling thread. Free when
+// no tracer is attached.
+func (b *base) traceLock(t *cthreads.Thread, kind trace.Kind, a, v int64) {
+	tr := b.sys.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Emit(trace.Event{
+		At: t.Now(), Kind: kind,
+		Proc: int32(t.Node()), Thread: int32(t.ID()),
+		Name: b.name, A: a, B: v,
+	})
+}
+
+// traceRelease records the lock's release. Implementations call it the
+// moment ownership is surrendered — before any successor can observe the
+// freed lock — so hold spans in the trace never overlap.
+func (b *base) traceRelease(t *cthreads.Thread) {
+	b.traceLock(t, trace.KindLockRelease, 0, 0)
+}
+
+// traceBlocked records a requester going to sleep on the lock.
+func (b *base) traceBlocked(t *cthreads.Thread) {
+	b.traceLock(t, trace.KindLockBlocked, 0, 0)
 }
 
 // checkOwner panics unless t owns the lock.

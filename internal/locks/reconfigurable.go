@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Attribute names of the reconfigurable/adaptive lock's waiting policy
@@ -63,6 +64,27 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 	l.obj.Attrs.Define(AttrSleepTime, 1, true)
 	l.obj.Attrs.Define(AttrTimeout, 0, true)
 	l.obj.Methods.Define(MethodScheduler, 3, SchedFCFS, SchedPriority, SchedHandoff)
+	// Route the object's feedback loop into the system tracer: samples
+	// entering the loop and reconfigurations applied (Ψ). The hooks read
+	// the tracer at fire time, so attaching a tracer after lock creation
+	// works; with no tracer they cost two nil checks per sample/apply.
+	l.obj.OnSample(func(s core.Sample) {
+		tr := sys.Tracer()
+		if tr == nil {
+			return
+		}
+		now := sys.Now()
+		tr.Emit(trace.Event{At: now, Kind: trace.KindSample, Proc: -1, Thread: -1,
+			Name: name, A: int64(now), B: s.Value})
+	})
+	l.obj.OnApply(func(d core.Decision, by core.OwnerID, err error) {
+		tr := sys.Tracer()
+		if tr == nil || err != nil {
+			return
+		}
+		tr.Emit(trace.Event{At: sys.Now(), Kind: trace.KindReconfig, Proc: -1, Thread: -1,
+			Name: name, Extra: d.String(), A: d.Value})
+	})
 	return l
 }
 
@@ -140,6 +162,7 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 			return
 		}
 		l.stats.Blocks++
+		l.traceBlocked(t)
 		if timeout > 0 {
 			timedOut := t.BlockTimeout(sim.Time(timeout))
 			if timedOut && !w.granted {
@@ -185,6 +208,7 @@ func (l *ReconfigurableLock) Unlock(t *cthreads.Thread) {
 		panic(err)
 	}
 	l.owner = nil
+	l.traceRelease(t)
 	successor := l.successor
 	l.successor = nil
 	// Free the word FIRST, and only then consult the queue: a requester

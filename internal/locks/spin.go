@@ -38,6 +38,7 @@ func (l *SpinLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.owner = nil
+	l.traceRelease(t)
 	l.flag.Store(t, 0)
 }
 
@@ -81,5 +82,6 @@ func (l *BackoffSpinLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.owner = nil
+	l.traceRelease(t)
 	l.flag.Store(t, 0)
 }

@@ -35,5 +35,6 @@ func (l *TASLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
 	t.Compute(l.costs.TASUnlockSteps)
 	l.owner = nil
+	l.traceRelease(t)
 	l.flag.Store(t, 0)
 }

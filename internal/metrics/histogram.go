@@ -61,7 +61,9 @@ func (h *Histogram) Mean() sim.Time {
 }
 
 // Quantile returns an upper bound of the q-quantile (0 < q ≤ 1): the top
-// of the bucket containing it. Returns 0 when empty.
+// of the bucket containing it, saturated at Max so the bound is both
+// tight and overflow-free for samples in the highest buckets. Returns 0
+// when empty.
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.count == 0 || q <= 0 {
 		return 0
@@ -77,7 +79,14 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= target {
-			return sim.Time(1) << uint(i+1)
+			if i >= 62 { // 1<<63 overflows sim.Time
+				return h.max
+			}
+			top := sim.Time(1) << uint(i+1)
+			if top > h.max {
+				return h.max
+			}
+			return top
 		}
 	}
 	return h.max

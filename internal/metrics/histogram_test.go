@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewHistogram("one")
+	h.Record(100)
+	// 100 lands in bucket [64,128); every quantile is bounded by the
+	// bucket top 128 and the bound must never be below the sample.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 100 || got > 128 {
+			t.Errorf("Quantile(%v) = %v, want within [100,128]", q, got)
+		}
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestQuantileBucketBoundaries(t *testing.T) {
+	h := NewHistogram("bounds")
+	// Exact powers of two sit at the bottom of their bucket: 8 is in
+	// [8,16), whose top 16 saturates at the recorded max 8.
+	h.Record(8)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) after Record(8) = %v, want 8 (bucket top saturated at max)", got)
+	}
+	// 7 is in [4,8): adding two shifts the median down one bucket.
+	h.Record(7)
+	h.Record(7)
+	if got := h.Quantile(0.5); got != 8 {
+		t.Errorf("median of {7,7,8} = %v, want 8", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) of {7,7,8} = %v, want 8", got)
+	}
+}
+
+func TestQuantileZeroAndNegative(t *testing.T) {
+	h := NewHistogram("zero")
+	h.Record(0)
+	h.Record(-5) // clamped to 0
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	// Bucket 0 is [0,2): the bound is its top, saturated at max (0).
+	if got := h.Quantile(1); got != 0 {
+		t.Errorf("Quantile(1) of zeros = %v, want 0", got)
+	}
+}
+
+func TestQuantileMaxSaturation(t *testing.T) {
+	h := NewHistogram("huge")
+	huge := sim.Time(1)<<62 + 12345 // top-most representable bucket
+	h.Record(huge)
+	h.Record(3)
+	got := h.Quantile(1)
+	if got != huge {
+		t.Errorf("Quantile(1) = %v, want saturation at max %v", got, huge)
+	}
+	if got < 0 {
+		t.Errorf("Quantile(1) overflowed negative: %v", got)
+	}
+	// The low quantile still resolves to the small sample's bucket top.
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("Quantile(0.5) = %v, want 4", got)
+	}
+}
+
+func TestQuantileAboveOneClamps(t *testing.T) {
+	h := NewHistogram("clamp")
+	h.Record(10)
+	if got, want := h.Quantile(5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(5) = %v, want Quantile(1) = %v", got, want)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram("mono")
+	for d := sim.Time(1); d < 1<<20; d *= 3 {
+		h.Record(d)
+	}
+	prev := sim.Time(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < Quantile(previous) = %v; must be monotone", q, got, prev)
+		}
+		prev = got
+	}
+	if h.Quantile(1) != h.Max() && h.Quantile(1) < h.Max() {
+		t.Errorf("Quantile(1) = %v below max %v", h.Quantile(1), h.Max())
+	}
+}

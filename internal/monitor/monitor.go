@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cthreads"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Record is one trace record produced by a probe.
@@ -131,6 +132,11 @@ func (m *Local) Probe(t *cthreads.Thread, sensor int, value int64) {
 	rec := Record{Sensor: sensor, Value: value, At: t.Now(), ThreadID: t.ID()}
 	t.Advance(2 * m.sys.Machine().AccessCost(t.Node(), m.cfg.Node))
 	m.records++
+	if tr := m.sys.Tracer(); tr != nil {
+		tr.Emit(trace.Event{At: rec.At, Kind: trace.KindMonitorRecord,
+			Proc: int32(t.Node()), Thread: int32(t.ID()),
+			Name: "monitor", A: rec.Value, B: int64(rec.Sensor)})
+	}
 	if len(m.ring) >= m.cfg.BufferCap {
 		m.drops++
 		return
@@ -168,6 +174,11 @@ func (m *Local) Start() *cthreads.Thread {
 				t.Compute(m.cfg.PerRecordSteps)
 				m.delivered++
 				m.lagSum += t.Now() - rec.At
+				if tr := m.sys.Tracer(); tr != nil {
+					tr.Emit(trace.Event{At: t.Now(), Kind: trace.KindMonitorDeliver,
+						Proc: int32(t.Node()), Thread: int32(t.ID()),
+						Name: "monitor", A: int64(rec.At), B: rec.Value})
+				}
 				for _, s := range m.subs {
 					s(t, rec)
 				}

@@ -81,6 +81,7 @@ func (e *Engine) At(when Time, fn func()) {
 		when = e.now
 	}
 	e.seq++
+	e.trace("schedule")
 	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
 }
 
@@ -185,8 +186,10 @@ func (e *Engine) fail(err error) {
 }
 
 // Tracer receives one line per engine occurrence when tracing is enabled:
-// event dispatch and coro lifecycle. For debugging simulations; the
-// callback must not mutate simulated state.
+// event scheduling ("schedule"), event dispatch ("event"), and coro
+// lifecycle. For debugging simulations; the callback must not mutate
+// simulated state. internal/trace adapts its structured tracer to this
+// hook via Tracer.EngineHook.
 type Tracer func(at Time, what string)
 
 // SetTracer installs (or, with nil, removes) the trace hook.

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Synthetic process IDs for the non-processor tracks of the Chrome trace.
+// Processor p is process p+1; these sit after every real processor.
+const (
+	pidLockHold = 1000 + iota
+	pidLockWait
+	pidAdapt
+	pidMonitor
+)
+
+// chromeComplete is a Chrome trace-event "X" (complete) event: a span with
+// an explicit duration. Timestamps are microseconds.
+type chromeComplete struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeInstant is an "i" (instant) event.
+type chromeInstant struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeMeta is an "M" (metadata) event naming a process or thread.
+type chromeMeta struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid,omitempty"`
+	Args chromeName `json:"args"`
+}
+
+type chromeName struct {
+	Name string `json:"name"`
+}
+
+// chromeArgs carries the event-specific payload shown in the Perfetto
+// detail pane.
+type chromeArgs struct {
+	Thread  string `json:"thread,omitempty"`
+	Value   int64  `json:"value,omitempty"`
+	Waiting int64  `json:"waiting,omitempty"`
+	WaitNs  int64  `json:"wait_ns,omitempty"`
+	LagNs   int64  `json:"lag_ns,omitempty"`
+}
+
+// usec converts virtual nanoseconds to the trace format's microsecond
+// timestamps.
+func usec(t sim.Time) float64 { return float64(t) / 1000.0 }
+
+// chromeDoc is the top-level JSON object.
+type chromeDoc struct {
+	TraceEvents     []interface{} `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the recorded events as Chrome trace-event JSON, the
+// format Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// Track layout:
+//   - one process per simulated processor, with one row per thread pinned
+//     to it, carrying the thread's state spans (run / ready / blocked);
+//   - a "locks: hold" process with one row per lock, whose spans are the
+//     lock's hold intervals (acquire → release);
+//   - a "locks: wait" process with one row per thread, whose spans are
+//     request → grant waits, annotated with the waiter count at request;
+//   - an "adaptation" process carrying sensor-sample and reconfiguration
+//     instant events per adaptive object;
+//   - a "monitor" process carrying the loosely-coupled pipeline's record
+//     collection and delivery instants.
+//
+// The output is a deterministic function of the event history: identical
+// seeds produce byte-identical JSON.
+func (tr *Tracer) WriteChrome(w io.Writer) error {
+	return writeChrome(w, tr.Events())
+}
+
+// writeChrome implements WriteChrome over an explicit event slice.
+func writeChrome(w io.Writer, events []Event) error {
+	var out []interface{}
+	add := func(ev interface{}) { out = append(out, ev) }
+
+	// End of trace, for closing still-open spans.
+	var end sim.Time
+	for _, ev := range events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+
+	// Pass 1: name registries, in first-seen (deterministic) order.
+	threadName := map[int32]string{}
+	threadProc := map[int32]int32{}
+	var lockOrder []string
+	lockTid := map[string]int{}
+	var objOrder []string
+	objTid := map[string]int{}
+	procSeen := map[int32]bool{}
+	monitorSeen := false
+	for _, ev := range events {
+		if ev.Proc >= 0 {
+			procSeen[ev.Proc] = true
+		}
+		switch ev.Kind {
+		case KindThreadFork:
+			threadName[ev.Thread] = ev.Name
+			threadProc[ev.Thread] = ev.Proc
+		case KindLockRequest, KindLockAcquire, KindLockRelease, KindLockBlocked:
+			if _, ok := lockTid[ev.Name]; !ok {
+				lockTid[ev.Name] = len(lockOrder) + 1
+				lockOrder = append(lockOrder, ev.Name)
+			}
+		case KindSample, KindReconfig:
+			if _, ok := objTid[ev.Name]; !ok {
+				objTid[ev.Name] = len(objOrder) + 1
+				objOrder = append(objOrder, ev.Name)
+			}
+		case KindMonitorRecord, KindMonitorDeliver:
+			monitorSeen = true
+		}
+	}
+
+	// Metadata: processor processes, thread rows, synthetic processes.
+	var procs []int
+	for p := range procSeen {
+		procs = append(procs, int(p))
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		add(chromeMeta{Name: "process_name", Ph: "M", Pid: p + 1,
+			Args: chromeName{Name: fmt.Sprintf("proc%d", p)}})
+	}
+	var tids []int
+	for id := range threadName {
+		tids = append(tids, int(id))
+	}
+	sort.Ints(tids)
+	for _, id := range tids {
+		tid := int32(id)
+		add(chromeMeta{Name: "thread_name", Ph: "M",
+			Pid: int(threadProc[tid]) + 1, Tid: id + 1,
+			Args: chromeName{Name: fmt.Sprintf("%s (t%d)", threadName[tid], id)}})
+	}
+	if len(lockOrder) > 0 {
+		add(chromeMeta{Name: "process_name", Ph: "M", Pid: pidLockHold,
+			Args: chromeName{Name: "locks: hold"}})
+		add(chromeMeta{Name: "process_name", Ph: "M", Pid: pidLockWait,
+			Args: chromeName{Name: "locks: wait"}})
+		for i, name := range lockOrder {
+			add(chromeMeta{Name: "thread_name", Ph: "M", Pid: pidLockHold, Tid: i + 1,
+				Args: chromeName{Name: name}})
+		}
+		for _, id := range tids {
+			tid := int32(id)
+			add(chromeMeta{Name: "thread_name", Ph: "M", Pid: pidLockWait, Tid: id + 1,
+				Args: chromeName{Name: fmt.Sprintf("%s (t%d)", threadName[tid], id)}})
+		}
+	}
+	if len(objOrder) > 0 {
+		add(chromeMeta{Name: "process_name", Ph: "M", Pid: pidAdapt,
+			Args: chromeName{Name: "adaptation"}})
+		for i, name := range objOrder {
+			add(chromeMeta{Name: "thread_name", Ph: "M", Pid: pidAdapt, Tid: i + 1,
+				Args: chromeName{Name: name}})
+		}
+	}
+	if monitorSeen {
+		add(chromeMeta{Name: "process_name", Ph: "M", Pid: pidMonitor,
+			Args: chromeName{Name: "monitor pipeline"}})
+	}
+
+	// Pass 2: spans and instants.
+	type open struct {
+		state string
+		since sim.Time
+	}
+	threadOpen := map[int32]*open{}       // current thread-state span
+	waitOpen := map[int32]Event{}         // thread → outstanding lock request
+	holdOpen := map[string]Event{}        // lock → outstanding acquisition
+	closeState := func(tid int32, at sim.Time) {
+		o := threadOpen[tid]
+		if o == nil || o.state == "" {
+			return
+		}
+		add(chromeComplete{Name: o.state, Cat: "thread", Ph: "X",
+			Ts: usec(o.since), Dur: usec(at - o.since),
+			Pid: int(threadProc[tid]) + 1, Tid: int(tid) + 1})
+	}
+	setState := func(tid int32, state string, at sim.Time) {
+		closeState(tid, at)
+		threadOpen[tid] = &open{state: state, since: at}
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindThreadFork:
+			threadOpen[ev.Thread] = &open{}
+		case KindThreadReady:
+			setState(ev.Thread, "ready", ev.At)
+		case KindThreadRun:
+			setState(ev.Thread, "run", ev.At)
+		case KindThreadBlock:
+			setState(ev.Thread, "blocked", ev.At)
+		case KindThreadDone:
+			closeState(ev.Thread, ev.At)
+			delete(threadOpen, ev.Thread)
+
+		case KindLockRequest:
+			waitOpen[ev.Thread] = ev
+		case KindLockAcquire:
+			if req, ok := waitOpen[ev.Thread]; ok && req.Name == ev.Name {
+				add(chromeComplete{Name: ev.Name, Cat: "lock-wait", Ph: "X",
+					Ts: usec(req.At), Dur: usec(ev.At - req.At),
+					Pid: pidLockWait, Tid: int(ev.Thread) + 1,
+					Args: &chromeArgs{Waiting: req.A, WaitNs: ev.A}})
+				delete(waitOpen, ev.Thread)
+			}
+			holdOpen[ev.Name] = ev
+		case KindLockRelease:
+			if acq, ok := holdOpen[ev.Name]; ok {
+				args := &chromeArgs{}
+				if name, ok := threadName[acq.Thread]; ok {
+					args.Thread = name
+				}
+				add(chromeComplete{Name: ev.Name, Cat: "lock-hold", Ph: "X",
+					Ts: usec(acq.At), Dur: usec(ev.At - acq.At),
+					Pid: pidLockHold, Tid: lockTid[ev.Name],
+					Args: args})
+				delete(holdOpen, ev.Name)
+			}
+		case KindLockBlocked:
+			add(chromeInstant{Name: "sleep: " + ev.Name, Cat: "lock", Ph: "i",
+				Ts: usec(ev.At), Pid: pidLockWait, Tid: int(ev.Thread) + 1, S: "t"})
+
+		case KindSample:
+			add(chromeInstant{Name: fmt.Sprintf("sample %s=%d", ev.Name, ev.B),
+				Cat: "adapt", Ph: "i", Ts: usec(ev.At),
+				Pid: pidAdapt, Tid: objTid[ev.Name], S: "t",
+				Args: &chromeArgs{Value: ev.B, LagNs: int64(ev.At) - ev.A}})
+		case KindReconfig:
+			add(chromeInstant{Name: "reconfigure " + ev.Extra, Cat: "adapt", Ph: "i",
+				Ts: usec(ev.At), Pid: pidAdapt, Tid: objTid[ev.Name], S: "p",
+				Args: &chromeArgs{Value: ev.A}})
+
+		case KindMonitorRecord:
+			add(chromeInstant{Name: fmt.Sprintf("record s%d=%d", ev.B, ev.A),
+				Cat: "monitor", Ph: "i", Ts: usec(ev.At),
+				Pid: pidMonitor, Tid: 1, S: "t"})
+		case KindMonitorDeliver:
+			add(chromeInstant{Name: fmt.Sprintf("deliver=%d", ev.B),
+				Cat: "monitor", Ph: "i", Ts: usec(ev.At),
+				Pid: pidMonitor, Tid: 2, S: "t",
+				Args: &chromeArgs{Value: ev.B, LagNs: int64(ev.At) - ev.A}})
+		}
+	}
+	// Close spans still open at end of trace (threads alive at shutdown).
+	var openTids []int
+	for tid := range threadOpen {
+		openTids = append(openTids, int(tid))
+	}
+	sort.Ints(openTids)
+	for _, tid := range openTids {
+		closeState(int32(tid), end)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: out, DisplayTimeUnit: "ns"})
+}

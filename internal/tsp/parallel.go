@@ -7,6 +7,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Organization selects the parallel structure of the solver (§4).
@@ -60,6 +61,9 @@ type Config struct {
 	PollInterval sim.Time
 	// RecordPatterns enables waiting-thread series per lock (Figures 4–9).
 	RecordPatterns bool
+	// Tracer, when non-nil, records the solve's thread, lock, and
+	// adaptation events in virtual time.
+	Tracer *trace.Tracer
 }
 
 // Result is the outcome of a parallel (or simulated-sequential) solve.
@@ -169,6 +173,7 @@ func Solve(cfg Config) (Result, error) {
 		dist:     cfg.Org != OrgCentralized,
 		trueBest: Inf,
 	}
+	s.sys.SetTracer(cfg.Tracer)
 	s.build()
 
 	// The root problem is enqueued before the searchers start (the main
