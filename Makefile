@@ -18,8 +18,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark baseline: engine micro-benchmarks at full benchtime plus the
+# paper-table macro benchmarks at one iteration each (their sim-* metrics
+# are deterministic, so one iteration is exact), folded into BENCH_sim.json
+# for cross-PR perf trajectory.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sim > bench_micro.out
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . > bench_macro.out
+	cat bench_micro.out bench_macro.out
+	$(GO) run ./cmd/benchjson -out BENCH_sim.json bench_micro.out bench_macro.out
+	rm -f bench_micro.out bench_macro.out
 
 # Regenerate every table and figure of the paper.
 experiments: build

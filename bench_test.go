@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -17,11 +18,16 @@ import (
 	"repro/internal/tsp"
 )
 
+// benchJobs is the sweep fan-out the benchmarks run with: all cores, the
+// same default the cmd/ binaries use. Sim-metric outputs are identical at
+// any value; only wall-clock changes.
+var benchJobs = runtime.GOMAXPROCS(0)
+
 // benchTSPOpts is the shared workload for Tables 1–3: a 16-city Euclidean
 // instance on 10 processors, the same scale regime as the paper's 32-city
 // runs (see experiments.TSPOptions).
 func benchTSPOpts() experiments.TSPOptions {
-	return experiments.TSPOptions{Cities: 16, Seed: 1, Searchers: 10}
+	return experiments.TSPOptions{Cities: 16, Seed: 1, Searchers: 10, Jobs: benchJobs}
 }
 
 func benchTSP(b *testing.B, org tsp.Organization) {
@@ -60,7 +66,7 @@ func BenchmarkTable4(b *testing.B) {
 	var rows []experiments.LockOpRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table4(experiments.Options{})
+		rows, err = experiments.Table4(experiments.Options{Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +81,7 @@ func BenchmarkTable5(b *testing.B) {
 	var rows []experiments.LockOpRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table5(experiments.Options{})
+		rows, err = experiments.Table5(experiments.Options{Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +97,7 @@ func BenchmarkTable6(b *testing.B) {
 	var rows []experiments.CycleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table6(experiments.Options{})
+		rows, err = experiments.Table6(experiments.Options{Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +113,7 @@ func BenchmarkTable7(b *testing.B) {
 	var rows []experiments.CycleRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table7(experiments.Options{})
+		rows, err = experiments.Table7(experiments.Options{Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +129,7 @@ func BenchmarkTable8(b *testing.B) {
 	var rows []experiments.ConfigOpRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table8(experiments.Options{})
+		rows, err = experiments.Table8(experiments.Options{Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,6 +150,7 @@ func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err = experiments.Figure1(experiments.Figure1Options{
 			CSLengths: []sim.Time{10 * sim.Microsecond, 100 * sim.Microsecond, 500 * sim.Microsecond},
+			Jobs:      benchJobs,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -164,7 +171,7 @@ func BenchmarkLockPatterns(b *testing.B) {
 	var figs []experiments.PatternFigure
 	var err error
 	for i := 0; i < b.N; i++ {
-		figs, err = experiments.LockPatterns(experiments.TSPOptions{Cities: 14, Seed: 1})
+		figs, err = experiments.LockPatterns(experiments.TSPOptions{Cities: 14, Seed: 1, Jobs: benchJobs})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +189,7 @@ func BenchmarkSchedulerComparison(b *testing.B) {
 	var rows []experiments.SchedRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.SchedulerComparison(sim.Config{})
+		rows, err = experiments.SchedulerComparison(sim.Config{}, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +205,7 @@ func BenchmarkSpinVsBlock(b *testing.B) {
 	var rows []experiments.CrossoverRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.SpinVsBlockCrossover(sim.Config{})
+		rows, err = experiments.SpinVsBlockCrossover(sim.Config{}, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +221,7 @@ func BenchmarkPolicyAblation(b *testing.B) {
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.PolicyAblation(sim.Config{})
+		rows, err = experiments.PolicyAblation(sim.Config{}, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +265,7 @@ func BenchmarkAdvisoryLock(b *testing.B) {
 	var rows []experiments.AdvisoryRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.AdvisoryComparison(sim.Config{})
+		rows, err = experiments.AdvisoryComparison(sim.Config{}, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +282,7 @@ func BenchmarkLockRetargeting(b *testing.B) {
 	var rows []experiments.RetargetRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.LockRetargeting(sim.Config{})
+		rows, err = experiments.LockRetargeting(sim.Config{}, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,7 +316,7 @@ func BenchmarkPlatformRetargeting(b *testing.B) {
 	var rows []experiments.PlatformRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.PlatformRetargeting()
+		rows, err = experiments.PlatformRetargeting(benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,7 +332,7 @@ func BenchmarkScaling(b *testing.B) {
 	var rows []experiments.ScalingRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.ScalingComparison(experiments.TSPOptions{Cities: 14, Seed: 1}, nil)
+		rows, err = experiments.ScalingComparison(experiments.TSPOptions{Cities: 14, Seed: 1, Jobs: benchJobs}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -342,7 +349,7 @@ func BenchmarkSOR(b *testing.B) {
 	var rows []experiments.SORRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.SORComparison(nil)
+		rows, err = experiments.SORComparison(nil, benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -359,7 +366,7 @@ func BenchmarkAdaptiveBarrier(b *testing.B) {
 	var rows []experiments.BarrierRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.BarrierComparison()
+		rows, err = experiments.BarrierComparison(benchJobs)
 		if err != nil {
 			b.Fatal(err)
 		}

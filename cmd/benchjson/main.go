@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// baseline so benchmark results can be committed and diffed across PRs.
+// It records the host context (goos/goarch/cpu), the wall-clock cost and
+// allocation profile of each benchmark, and every custom metric — for this
+// repo, the simulated quantities (sim-ms-*, improvement-%, speedup), which
+// are deterministic and therefore exact regression anchors even when
+// wall-clock numbers move with the hardware.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim > micro.out
+//	benchjson -out BENCH_sim.json micro.out [more.out ...]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric values — here, simulated
+	// times and ratios that must not drift between runs of the same seed.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the file layout of BENCH_sim.json.
+type Baseline struct {
+	Note       string      `json:"note"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "BENCH_sim.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	base := Baseline{
+		Note: "benchmark baseline written by `make bench`; sim-* metrics are deterministic, ns/op is hardware-dependent",
+		Go:   runtime.Version(),
+	}
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		parse(&base, os.Stdin)
+	}
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parse(&base, f)
+		f.Close()
+	}
+	if len(base.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
+}
+
+// parse consumes one `go test -bench` output stream, picking up the
+// context header lines (goos/goarch/cpu/pkg) and every Benchmark line.
+func parse(base *Baseline, r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			b.Package = pkg
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseLine parses one benchmark result line: a name, an iteration count,
+// then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			b.Metrics["MB/s"] = v
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

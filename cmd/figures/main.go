@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|sched|crossover|ablation|all]
+//	figures [-fig 1|sched|crossover|ablation|all] [-j N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -22,13 +23,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
+	jobs := cli.JobsFlag(flag.CommandLine)
 	flag.Parse()
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	printed := false
 
 	if want("1") {
-		rows, err := experiments.Figure1(experiments.Figure1Options{})
+		rows, err := experiments.Figure1(experiments.Figure1Options{Jobs: *jobs})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,7 +38,7 @@ func main() {
 		printed = true
 	}
 	if want("sched") {
-		rows, err := experiments.SchedulerComparison(sim.Config{})
+		rows, err := experiments.SchedulerComparison(sim.Config{}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,7 +46,7 @@ func main() {
 		printed = true
 	}
 	if want("crossover") {
-		rows, err := experiments.SpinVsBlockCrossover(sim.Config{})
+		rows, err := experiments.SpinVsBlockCrossover(sim.Config{}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +54,7 @@ func main() {
 		printed = true
 	}
 	if want("advisory") {
-		rows, err := experiments.AdvisoryComparison(sim.Config{})
+		rows, err := experiments.AdvisoryComparison(sim.Config{}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +62,7 @@ func main() {
 		printed = true
 	}
 	if want("retarget") {
-		rows, err := experiments.LockRetargeting(sim.Config{})
+		rows, err := experiments.LockRetargeting(sim.Config{}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,7 +78,7 @@ func main() {
 		printed = true
 	}
 	if want("platform") {
-		rows, err := experiments.PlatformRetargeting()
+		rows, err := experiments.PlatformRetargeting(*jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,7 +86,7 @@ func main() {
 		printed = true
 	}
 	if want("sor") {
-		rows, err := experiments.SORComparison(nil)
+		rows, err := experiments.SORComparison(nil, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +94,7 @@ func main() {
 		printed = true
 	}
 	if want("barrier") {
-		rows, err := experiments.BarrierComparison()
+		rows, err := experiments.BarrierComparison(*jobs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,7 +102,7 @@ func main() {
 		printed = true
 	}
 	if want("ablation") {
-		rows, err := experiments.PolicyAblation(sim.Config{})
+		rows, err := experiments.PolicyAblation(sim.Config{}, *jobs)
 		if err != nil {
 			log.Fatal(err)
 		}

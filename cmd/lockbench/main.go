@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lockbench [-table 4|5|6|7|8|all] [-iters N] [-procs N]
+//	lockbench [-table 4|5|6|7|8|all] [-iters N] [-procs N] [-j N]
 //	          [-trace FILE] [-trace-reports]
 package main
 
@@ -24,11 +24,12 @@ func main() {
 	table := flag.String("table", "all", "table to regenerate: 4, 5, 6, 7, 8, or all")
 	iters := flag.Int("iters", 16, "repetitions per measured operation")
 	procs := cli.ProcsFlag(flag.CommandLine, 0)
+	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	tracer := tf.Tracer()
-	opts := experiments.Options{Iters: *iters, Tracer: tracer}
+	opts := experiments.Options{Iters: *iters, Tracer: tracer, Jobs: *jobs}
 	if *procs > 0 {
 		opts.Machine = sim.Config{Nodes: *procs}
 	}

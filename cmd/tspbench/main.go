@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tspbench [-impl central|dist|distlb|all] [-cities N] [-seed S]
-//	         [-searchers N] [-uniform] [-steps N] [-patterns]
+//	         [-searchers N] [-uniform] [-steps N] [-patterns] [-j N]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "also sweep searcher counts (gain vs. processors)")
 	file := flag.String("file", "", "TSPLIB file (EUC_2D or FULL_MATRIX) to solve instead of a generated instance")
 	csvdir := flag.String("csvdir", "", "with -patterns, also write each figure's series as CSV into this directory")
+	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		Uniform:          *uniform,
 		StepsPerWorkUnit: *steps,
 		Tracer:           tracer,
+		Jobs:             *jobs,
 	}
 	if *file != "" {
 		f, err := os.Open(*file)

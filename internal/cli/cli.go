@@ -1,6 +1,7 @@
 // Package cli centralizes the flag plumbing shared by the cmd/ binaries:
 // the -trace family (path, capacity, category selection, derived reports),
-// the deterministic -seed, and the -procs processor count. Each binary
+// the deterministic -seed, the -procs processor count, and the -j sweep
+// parallelism. Each binary
 // registers what it needs through these helpers so flag names, defaults,
 // and usage strings stay consistent across lockbench, tspbench, adaptdemo,
 // and figures.
@@ -12,6 +13,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/trace"
@@ -97,4 +99,14 @@ func SeedFlag(fs *flag.FlagSet, def uint64) *uint64 {
 // ProcsFlag registers the shared processor-count flag.
 func ProcsFlag(fs *flag.FlagSet, def int) *int {
 	return fs.Int("procs", def, "simulated processors")
+}
+
+// JobsFlag registers the shared sweep-parallelism flag. Independent
+// simulation configurations of one experiment sweep run on up to -j
+// OS-level workers; results are collected in input order, so output is
+// byte-identical for every -j value. The default uses every available
+// core; -j 1 forces the serial path.
+func JobsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", runtime.GOMAXPROCS(0),
+		"parallel workers for independent sweep simulations (1 = serial; output is identical for any value)")
 }

@@ -84,7 +84,9 @@ func OnMachine(m *sim.Machine) *System {
 	s := &System{mach: m, eng: m.Engine()}
 	s.procs = make([]*Processor, m.Nodes())
 	for i := range s.procs {
-		s.procs[i] = &Processor{sys: s, id: i}
+		p := &Processor{sys: s, id: i}
+		p.dispatchFn = p.dispatch // cached so maybeSchedule allocates no closure
+		s.procs[i] = p
 	}
 	return s
 }

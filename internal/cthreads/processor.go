@@ -14,6 +14,9 @@ type Processor struct {
 	ready     []*Thread
 	current   *Thread
 	switching bool // a dispatch event is already scheduled
+	// dispatchFn is the method value p.dispatch, bound once at creation so
+	// every scheduled context switch reuses it.
+	dispatchFn func()
 
 	busy     sim.Time // accumulated Advance time of threads on this processor
 	switches int
@@ -48,7 +51,7 @@ func (p *Processor) maybeSchedule() {
 		return
 	}
 	p.switching = true
-	p.sys.eng.After(p.sys.mach.Config().ContextSwitch, p.dispatch)
+	p.sys.eng.After(p.sys.mach.Config().ContextSwitch, p.dispatchFn)
 }
 
 // dispatch installs the next ready thread as current and transfers control

@@ -26,7 +26,7 @@ type BarrierRow struct {
 // processors the adaptive barrier converges to polling; multiprogrammed,
 // it converges to a short grace poll followed by sleeping, beating both
 // static barriers.
-func BarrierComparison() ([]BarrierRow, error) {
+func BarrierComparison(jobs int) ([]BarrierRow, error) {
 	regimes := []struct {
 		name    string
 		procs   int
@@ -35,31 +35,36 @@ func BarrierComparison() ([]BarrierRow, error) {
 		{"1 worker/processor", 8, 0},
 		{"2 workers/processor", 4, 500 * sim.Microsecond},
 	}
-	var rows []BarrierRow
-	for _, reg := range regimes {
-		row := BarrierRow{Regime: reg.name}
-		for _, kind := range []string{"spin", "sleep", "adaptive"} {
-			res, err := sor.Solve(sor.Config{
-				Problem:     sor.Problem{N: 32, Tol: 1e-2},
-				Workers:     8,
-				Procs:       reg.procs,
-				LockKind:    locks.KindAdaptive,
-				BarrierKind: kind,
-				Machine:     sim.Config{Quantum: reg.quantum},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("barrier %s/%s: %w", reg.name, kind, err)
-			}
-			switch kind {
-			case "spin":
-				row.Spin = res.Elapsed
-			case "sleep":
-				row.Sleep = res.Elapsed
-			case "adaptive":
-				row.Adaptive = res.Elapsed
-			}
+	kinds := []string{"spin", "sleep", "adaptive"}
+	// Flatten the (regime × barrier-kind) grid: all six solves are
+	// independent simulations.
+	cells, err := sweep(sweepJobs(jobs, false), len(regimes)*len(kinds), func(i int) (sim.Time, error) {
+		reg := regimes[i/len(kinds)]
+		kind := kinds[i%len(kinds)]
+		res, err := sor.Solve(sor.Config{
+			Problem:     sor.Problem{N: 32, Tol: 1e-2},
+			Workers:     8,
+			Procs:       reg.procs,
+			LockKind:    locks.KindAdaptive,
+			BarrierKind: kind,
+			Machine:     sim.Config{Quantum: reg.quantum},
+		})
+		if err != nil {
+			return 0, fmt.Errorf("barrier %s/%s: %w", reg.name, kind, err)
 		}
-		rows = append(rows, row)
+		return res.Elapsed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BarrierRow, 0, len(regimes))
+	for r, reg := range regimes {
+		rows = append(rows, BarrierRow{
+			Regime:   reg.name,
+			Spin:     cells[r*len(kinds)],
+			Sleep:    cells[r*len(kinds)+1],
+			Adaptive: cells[r*len(kinds)+2],
+		})
 	}
 	return rows, nil
 }

@@ -70,6 +70,64 @@ func TestTSPDeterminism(t *testing.T) {
 	}
 }
 
+// renderSweeps runs a cross-section of sweep experiments at the given
+// fan-out and renders every row — the full observable output. The sweep
+// runner collects results in input order, so this must be byte-identical
+// for every jobs value.
+func renderSweeps(t *testing.T, jobs int) string {
+	t.Helper()
+	var out bytes.Buffer
+
+	fig1, err := Figure1(Figure1Options{
+		CSLengths: []sim.Time{10 * sim.Microsecond, 500 * sim.Microsecond},
+		Jobs:      jobs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderFigure1(fig1))
+
+	abl, err := PolicyAblation(sim.Config{}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderAblation(abl))
+
+	row, err := TSPComparison(tsp.OrgCentralized, TSPOptions{
+		Cities: 8, Seed: 5, Searchers: 4, Jobs: jobs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderTSPRow(row))
+	fmt.Fprintf(&out, "%v|%v|%v|%d|%d|%v\n",
+		row.Blocking, row.Adaptive, row.Sequential,
+		row.BlockingRes.Expansions, row.AdaptiveRes.Expansions, row.AdaptiveRes.FinalSpin)
+
+	bar, err := BarrierComparison(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderBarriers(bar))
+	return out.String()
+}
+
+// TestSweepParallelDeterminism is the regression gate for the parallel
+// sweep runner: running the sweeps with -j 8 must produce byte-identical
+// output to the serial -j 1 path. Each configuration owns its engine and
+// RNG and results are collected in input order, so any divergence means
+// shared mutable state leaked between concurrent simulations.
+func TestSweepParallelDeterminism(t *testing.T) {
+	serial := renderSweeps(t, 1)
+	parallel := renderSweeps(t, 8)
+	if serial != parallel {
+		t.Errorf("sweep output with -j 8 differs from -j 1:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Error("empty sweep output")
+	}
+}
+
 // TestCouplingTraceDeterminism covers the loosely-coupled monitor pipeline
 // path (monitor records, deliveries, and pipeline-lagged samples) with the
 // same byte-identity requirement.

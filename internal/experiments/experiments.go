@@ -31,8 +31,13 @@ type Options struct {
 	Iters int
 	// Tracer, when non-nil, is attached to every measured system; the
 	// microbenchmarks run many short simulations, so their events share
-	// one virtual timeline restarting at zero per measurement.
+	// one virtual timeline restarting at zero per measurement. A non-nil
+	// tracer forces serial execution regardless of Jobs.
 	Tracer *trace.Tracer
+	// Jobs is the fan-out for independent measurements: each simulation
+	// runs on its own engine, so up to Jobs (capped at GOMAXPROCS) run
+	// concurrently while results keep their input order. 0 or 1 is serial.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -134,19 +139,18 @@ func Table5(opts Options) ([]LockOpRow, error) {
 
 func lockOpTable(opts Options, kinds []locks.Kind, op string) ([]LockOpRow, error) {
 	opts = opts.withDefaults()
-	rows := make([]LockOpRow, 0, len(kinds))
-	for _, k := range kinds {
+	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(kinds), func(i int) (LockOpRow, error) {
+		k := kinds[i]
 		local, err := measureOp(opts, k, 0, op)
 		if err != nil {
-			return nil, fmt.Errorf("%s local %s: %w", op, k, err)
+			return LockOpRow{}, fmt.Errorf("%s local %s: %w", op, k, err)
 		}
 		remote, err := measureOp(opts, k, 1, op)
 		if err != nil {
-			return nil, fmt.Errorf("%s remote %s: %w", op, k, err)
+			return LockOpRow{}, fmt.Errorf("%s remote %s: %w", op, k, err)
 		}
-		rows = append(rows, LockOpRow{Kind: kindLabel(k), Local: local, Remote: remote})
-	}
-	return rows, nil
+		return LockOpRow{Kind: kindLabel(k), Local: local, Remote: remote}, nil
+	})
 }
 
 // CycleRow is one row of Table 6 or 7: the cost of a locking cycle — an
@@ -239,19 +243,18 @@ func cycleTable(opts Options, cases []struct {
 	name string
 	mk   cycleLock
 }) ([]CycleRow, error) {
-	rows := make([]CycleRow, 0, len(cases))
-	for _, cse := range cases {
+	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(cases), func(i int) (CycleRow, error) {
+		cse := cases[i]
 		local, err := measureCycle(opts, cse.mk, 1) // lock local to the waiter
 		if err != nil {
-			return nil, fmt.Errorf("cycle local %s: %w", cse.name, err)
+			return CycleRow{}, fmt.Errorf("cycle local %s: %w", cse.name, err)
 		}
 		remote, err := measureCycle(opts, cse.mk, 2) // lock remote to the waiter
 		if err != nil {
-			return nil, fmt.Errorf("cycle remote %s: %w", cse.name, err)
+			return CycleRow{}, fmt.Errorf("cycle remote %s: %w", cse.name, err)
 		}
-		rows = append(rows, CycleRow{Kind: cse.name, Local: local, Remote: remote})
-	}
-	return rows, nil
+		return CycleRow{Kind: cse.name, Local: local, Remote: remote}, nil
+	})
 }
 
 // ConfigOpRow is one row of Table 8: the cost of a basic adaptation
@@ -308,20 +311,19 @@ func Table8(opts Options) ([]ConfigOpRow, error) {
 			l.GeneralMonitorSample(t)
 		}, false},
 	}
-	rows := make([]ConfigOpRow, 0, len(ops))
-	for _, o := range ops {
+	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(ops), func(i int) (ConfigOpRow, error) {
+		o := ops[i]
 		local, err := measure(0, o.run)
 		if err != nil {
-			return nil, fmt.Errorf("table8 %s local: %w", o.name, err)
+			return ConfigOpRow{}, fmt.Errorf("table8 %s local: %w", o.name, err)
 		}
 		remote := sim.Time(-1)
 		if o.remote {
 			remote, err = measure(1, o.run)
 			if err != nil {
-				return nil, fmt.Errorf("table8 %s remote: %w", o.name, err)
+				return ConfigOpRow{}, fmt.Errorf("table8 %s remote: %w", o.name, err)
 			}
 		}
-		rows = append(rows, ConfigOpRow{Op: o.name, Local: local, Remote: remote})
-	}
-	return rows, nil
+		return ConfigOpRow{Op: o.name, Local: local, Remote: remote}, nil
+	})
 }

@@ -241,7 +241,7 @@ func TestLockPatternsShape(t *testing.T) {
 }
 
 func TestSchedulerComparisonShape(t *testing.T) {
-	rows, err := SchedulerComparison(sim.Config{})
+	rows, err := SchedulerComparison(sim.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestSchedulerComparisonShape(t *testing.T) {
 }
 
 func TestSpinVsBlockCrossoverShape(t *testing.T) {
-	rows, err := SpinVsBlockCrossover(sim.Config{})
+	rows, err := SpinVsBlockCrossover(sim.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestSpinVsBlockCrossoverShape(t *testing.T) {
 }
 
 func TestPolicyAblationRuns(t *testing.T) {
-	rows, err := PolicyAblation(sim.Config{})
+	rows, err := PolicyAblation(sim.Config{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestPolicyAblationRuns(t *testing.T) {
 }
 
 func TestAdvisoryComparisonShape(t *testing.T) {
-	rows, err := AdvisoryComparison(sim.Config{})
+	rows, err := AdvisoryComparison(sim.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestAdvisoryComparisonShape(t *testing.T) {
 }
 
 func TestLockRetargetingShape(t *testing.T) {
-	rows, err := LockRetargeting(sim.Config{})
+	rows, err := LockRetargeting(sim.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestCouplingComparisonShape(t *testing.T) {
 }
 
 func TestPlatformRetargetingShape(t *testing.T) {
-	rows, err := PlatformRetargeting()
+	rows, err := PlatformRetargeting(2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +401,7 @@ func TestPlatformRetargetingShape(t *testing.T) {
 }
 
 func TestSchedulerAdaptationConverges(t *testing.T) {
-	rows, err := SchedulerComparison(sim.Config{})
+	rows, err := SchedulerComparison(sim.Config{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +427,7 @@ func TestSchedulerAdaptationConverges(t *testing.T) {
 }
 
 func TestScalingComparisonShape(t *testing.T) {
-	rows, err := ScalingComparison(TSPOptions{Cities: 14, Seed: 1}, []int{4, 16})
+	rows, err := ScalingComparison(TSPOptions{Cities: 14, Seed: 1, Jobs: 2}, []int{4, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestScalingComparisonShape(t *testing.T) {
 }
 
 func TestSORComparisonShape(t *testing.T) {
-	rows, err := SORComparison([]int{8, 24})
+	rows, err := SORComparison([]int{8, 24}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +458,7 @@ func TestSORComparisonShape(t *testing.T) {
 }
 
 func TestBarrierComparisonShape(t *testing.T) {
-	rows, err := BarrierComparison()
+	rows, err := BarrierComparison(3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,13 +23,15 @@ type SchedRow struct {
 }
 
 // SchedulerComparison runs the client-server workload under each lock
-// scheduler variant.
-func SchedulerComparison(machine sim.Config) ([]SchedRow, error) {
-	rows := make([]SchedRow, 0, 4)
+// scheduler variant, fanning the independent runs out over up to jobs
+// workers (results stay in input order).
+func SchedulerComparison(machine sim.Config, jobs int) ([]SchedRow, error) {
 	// The fourth mode is this reproduction's §7 future-work configuration:
 	// the lock adapts its own scheduler (FCFS → priority) as the queue
 	// builds.
-	for _, sched := range []string{locks.SchedFCFS, locks.SchedPriority, locks.SchedHandoff, workload.SchedAdaptive} {
+	scheds := []string{locks.SchedFCFS, locks.SchedPriority, locks.SchedHandoff, workload.SchedAdaptive}
+	return sweep(sweepJobs(jobs, false), len(scheds), func(i int) (SchedRow, error) {
+		sched := scheds[i]
 		res, err := workload.RunClientServer(workload.ClientServerConfig{
 			Clients:     8,
 			Requests:    25,
@@ -39,11 +41,10 @@ func SchedulerComparison(machine sim.Config) ([]SchedRow, error) {
 			Machine:     machine,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("scheduler %s: %w", sched, err)
+			return SchedRow{}, fmt.Errorf("scheduler %s: %w", sched, err)
 		}
-		rows = append(rows, SchedRow{Scheduler: sched, Elapsed: res.Elapsed, MeanResponse: res.MeanResponse, QueuePeak: res.QueuePeak})
-	}
-	return rows, nil
+		return SchedRow{Scheduler: sched, Elapsed: res.Elapsed, MeanResponse: res.MeanResponse, QueuePeak: res.QueuePeak}, nil
+	})
 }
 
 // CrossoverRow compares pure spin and pure blocking at one level of
@@ -56,14 +57,14 @@ type CrossoverRow struct {
 }
 
 // SpinVsBlockCrossover sweeps threads-per-processor for the two pure
-// waiting policies.
-func SpinVsBlockCrossover(machine sim.Config) ([]CrossoverRow, error) {
+// waiting policies on up to jobs workers.
+func SpinVsBlockCrossover(machine sim.Config, jobs int) ([]CrossoverRow, error) {
 	const procs = 4
 	if machine.Quantum == 0 {
 		machine.Quantum = 500 * sim.Microsecond
 	}
-	var rows []CrossoverRow
-	for tpp := 1; tpp <= 4; tpp++ {
+	return sweep(sweepJobs(jobs, false), 4, func(i int) (CrossoverRow, error) {
+		tpp := i + 1
 		cfg := workload.CSConfig{
 			Procs:     procs,
 			Threads:   procs * tpp,
@@ -75,15 +76,14 @@ func SpinVsBlockCrossover(machine sim.Config) ([]CrossoverRow, error) {
 		}
 		spin, err := workload.RunCS(cfg, workload.SpinStrategy())
 		if err != nil {
-			return nil, fmt.Errorf("crossover spin tpp=%d: %w", tpp, err)
+			return CrossoverRow{}, fmt.Errorf("crossover spin tpp=%d: %w", tpp, err)
 		}
 		block, err := workload.RunCS(cfg, workload.BlockStrategy())
 		if err != nil {
-			return nil, fmt.Errorf("crossover block tpp=%d: %w", tpp, err)
+			return CrossoverRow{}, fmt.Errorf("crossover block tpp=%d: %w", tpp, err)
 		}
-		rows = append(rows, CrossoverRow{ThreadsPerProc: tpp, Spin: spin.Elapsed, Block: block.Elapsed})
-	}
-	return rows, nil
+		return CrossoverRow{ThreadsPerProc: tpp, Spin: spin.Elapsed, Block: block.Elapsed}, nil
+	})
 }
 
 // AblationRow is the adaptive lock's performance on a contended workload
@@ -96,30 +96,30 @@ type AblationRow struct {
 }
 
 // PolicyAblation sweeps the SimpleAdapt constants on a mixed-contention
-// workload.
-func PolicyAblation(machine sim.Config) ([]AblationRow, error) {
+// workload; the (threshold × step) grid fans out over up to jobs workers.
+func PolicyAblation(machine sim.Config, jobs int) ([]AblationRow, error) {
 	if machine.Quantum == 0 {
 		machine.Quantum = 500 * sim.Microsecond
 	}
-	var rows []AblationRow
-	for _, threshold := range []int64{1, 3, 6} {
-		for _, step := range []int64{5, 10, 25} {
-			res, err := workload.RunCS(workload.CSConfig{
-				Procs:     4,
-				Threads:   12,
-				Iters:     20,
-				CSLength:  80 * sim.Microsecond,
-				LocalWork: 250 * sim.Microsecond,
-				Jitter:    40 * sim.Microsecond,
-				Machine:   machine,
-			}, adaptiveStrategy(threshold, step))
-			if err != nil {
-				return nil, fmt.Errorf("ablation t=%d n=%d: %w", threshold, step, err)
-			}
-			rows = append(rows, AblationRow{WaitingThreshold: threshold, Step: step, Elapsed: res.Elapsed})
+	thresholds := []int64{1, 3, 6}
+	steps := []int64{5, 10, 25}
+	return sweep(sweepJobs(jobs, false), len(thresholds)*len(steps), func(i int) (AblationRow, error) {
+		threshold := thresholds[i/len(steps)]
+		step := steps[i%len(steps)]
+		res, err := workload.RunCS(workload.CSConfig{
+			Procs:     4,
+			Threads:   12,
+			Iters:     20,
+			CSLength:  80 * sim.Microsecond,
+			LocalWork: 250 * sim.Microsecond,
+			Jitter:    40 * sim.Microsecond,
+			Machine:   machine,
+		}, adaptiveStrategy(threshold, step))
+		if err != nil {
+			return AblationRow{}, fmt.Errorf("ablation t=%d n=%d: %w", threshold, step, err)
 		}
-	}
-	return rows, nil
+		return AblationRow{WaitingThreshold: threshold, Step: step, Elapsed: res.Elapsed}, nil
+	})
 }
 
 // AdvisoryRow is one waiting strategy's execution time on the
@@ -136,7 +136,7 @@ type AdvisoryRow struct {
 // (10µs) 90% of the time and long (2ms) 10% of the time, under pure spin,
 // pure blocking, a 10-spin combined lock, and the advisory lock whose
 // owner publishes its expected hold time.
-func AdvisoryComparison(machine sim.Config) ([]AdvisoryRow, error) {
+func AdvisoryComparison(machine sim.Config, jobs int) ([]AdvisoryRow, error) {
 	if machine.Quantum == 0 {
 		machine.Quantum = 500 * sim.Microsecond
 	}
@@ -151,25 +151,25 @@ func AdvisoryComparison(machine sim.Config) ([]AdvisoryRow, error) {
 		Jitter:    100 * sim.Microsecond,
 		Machine:   machine,
 	}
-	var rows []AdvisoryRow
-	for _, s := range []workload.Strategy{
+	strategies := []workload.Strategy{
 		workload.SpinStrategy(),
 		workload.BlockStrategy(),
 		workload.CombinedStrategy(10),
 		workload.AdvisoryStrategy(),
-	} {
+	}
+	return sweep(sweepJobs(jobs, false), len(strategies), func(i int) (AdvisoryRow, error) {
+		s := strategies[i]
 		res, err := workload.RunCS(cfg, s)
 		if err != nil {
-			return nil, fmt.Errorf("advisory %s: %w", s.Name, err)
+			return AdvisoryRow{}, fmt.Errorf("advisory %s: %w", s.Name, err)
 		}
-		rows = append(rows, AdvisoryRow{
+		return AdvisoryRow{
 			Strategy: s.Name,
 			Elapsed:  res.Elapsed,
 			Blocks:   res.Stats.Blocks,
 			Spins:    res.Stats.SpinIters,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RetargetRow compares the centralized test-and-set spin lock with the
@@ -189,12 +189,13 @@ type RetargetRow struct {
 // word's module and delay the release they wait for, while the
 // distributed (local-spin) representation keeps the module quiet. Sweeps
 // the number of contending processors.
-func LockRetargeting(machine sim.Config) ([]RetargetRow, error) {
+func LockRetargeting(machine sim.Config, jobs int) ([]RetargetRow, error) {
 	if machine.ModuleService == 0 {
 		machine = sim.HotSpotConfig()
 	}
-	var rows []RetargetRow
-	for _, threads := range []int{2, 4, 8, 16} {
+	counts := []int{2, 4, 8, 16}
+	return sweep(sweepJobs(jobs, false), len(counts), func(i int) (RetargetRow, error) {
+		threads := counts[i]
 		m := machine
 		if m.Nodes < threads {
 			m.Nodes = threads
@@ -221,17 +222,16 @@ func LockRetargeting(machine sim.Config) ([]RetargetRow, error) {
 			return locks.NewSpinLock(sys, 0, "tas-spin", locks.DefaultCosts())
 		})
 		if err != nil {
-			return nil, fmt.Errorf("retarget tas threads=%d: %w", threads, err)
+			return RetargetRow{}, fmt.Errorf("retarget tas threads=%d: %w", threads, err)
 		}
 		local, _, err := run(func(sys *cthreads.System) locks.Lock {
 			return locks.NewLocalSpinLock(sys, 0, "local-spin", locks.DefaultCosts())
 		})
 		if err != nil {
-			return nil, fmt.Errorf("retarget mcs threads=%d: %w", threads, err)
+			return RetargetRow{}, fmt.Errorf("retarget mcs threads=%d: %w", threads, err)
 		}
-		rows = append(rows, RetargetRow{Threads: threads, RemoteSpin: remote, LocalSpin: local, HotSpotDelay: hot})
-	}
-	return rows, nil
+		return RetargetRow{Threads: threads, RemoteSpin: remote, LocalSpin: local, HotSpotDelay: hot}, nil
+	})
 }
 
 // adaptiveStrategy builds an adaptive-lock strategy with explicit

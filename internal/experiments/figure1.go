@@ -22,6 +22,9 @@ type Figure1Options struct {
 	CSLengths []sim.Time
 	Machine   sim.Config
 	Costs     *locks.Costs
+	// Jobs fans the (length × strategy) grid out over up to Jobs workers;
+	// every cell is an independent simulation. 0 or 1 is serial.
+	Jobs int
 }
 
 func (o Figure1Options) withDefaults() Figure1Options {
@@ -74,10 +77,12 @@ type Figure1Row struct {
 func Figure1(opts Figure1Options) ([]Figure1Row, error) {
 	opts = opts.withDefaults()
 	strategies := Figure1Strategies()
-	rows := make([]Figure1Row, 0, len(opts.CSLengths))
-	for _, cs := range opts.CSLengths {
-		row := Figure1Row{CSLength: cs, Elapsed: make(map[string]sim.Time, len(strategies))}
-		for _, strat := range strategies {
+	// The grid is flattened to (length, strategy) cells so the fan-out sees
+	// every independent simulation, not just the row count.
+	cells, err := sweep(sweepJobs(opts.Jobs, false), len(opts.CSLengths)*len(strategies),
+		func(i int) (sim.Time, error) {
+			cs := opts.CSLengths[i/len(strategies)]
+			strat := strategies[i%len(strategies)]
 			m := opts.Machine
 			m.Quantum = opts.Quantum
 			res, err := workload.RunCS(workload.CSConfig{
@@ -91,9 +96,18 @@ func Figure1(opts Figure1Options) ([]Figure1Row, error) {
 				Costs:     opts.Costs,
 			}, strat)
 			if err != nil {
-				return nil, fmt.Errorf("figure1 cs=%v %s: %w", cs, strat.Name, err)
+				return 0, fmt.Errorf("figure1 cs=%v %s: %w", cs, strat.Name, err)
 			}
-			row.Elapsed[strat.Name] = res.Elapsed
+			return res.Elapsed, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Figure1Row, 0, len(opts.CSLengths))
+	for r, cs := range opts.CSLengths {
+		row := Figure1Row{CSLength: cs, Elapsed: make(map[string]sim.Time, len(strategies))}
+		for s, strat := range strategies {
+			row.Elapsed[strat.Name] = cells[r*len(strategies)+s]
 		}
 		rows = append(rows, row)
 	}

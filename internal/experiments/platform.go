@@ -24,8 +24,9 @@ type PlatformRow struct {
 // objects across architectural platforms (UMA → NUMA → NORMA): as the
 // remote-reference penalty grows, busy-waiting on a remote word gets
 // relatively worse, shifting the preferred waiting policy toward
-// sleeping. Rows are ordered UMA, GP1000 (NUMA), NORMA.
-func PlatformRetargeting() ([]PlatformRow, error) {
+// sleeping. Rows are ordered UMA, GP1000 (NUMA), NORMA. The presets are
+// independent machines; they fan out over up to jobs workers.
+func PlatformRetargeting(jobs int) ([]PlatformRow, error) {
 	presets := []struct {
 		name string
 		cfg  sim.Config
@@ -34,16 +35,16 @@ func PlatformRetargeting() ([]PlatformRow, error) {
 		{"GP1000 (NUMA)", sim.GP1000Config()},
 		{"NORMA-like", sim.NORMAConfig()},
 	}
-	var rows []PlatformRow
-	for _, p := range presets {
+	return sweep(sweepJobs(jobs, false), len(presets), func(i int) (PlatformRow, error) {
+		p := presets[i]
 		opts := Options{Machine: p.cfg}
 		spinOp, err := measureOp(opts.withDefaults(), locks.KindSpin, 1, "lock")
 		if err != nil {
-			return nil, fmt.Errorf("platform %s spin op: %w", p.name, err)
+			return PlatformRow{}, fmt.Errorf("platform %s spin op: %w", p.name, err)
 		}
 		blockOp, err := measureOp(opts.withDefaults(), locks.KindBlocking, 1, "lock")
 		if err != nil {
-			return nil, fmt.Errorf("platform %s blocking op: %w", p.name, err)
+			return PlatformRow{}, fmt.Errorf("platform %s blocking op: %w", p.name, err)
 		}
 
 		m := p.cfg
@@ -56,20 +57,19 @@ func PlatformRetargeting() ([]PlatformRow, error) {
 		}
 		spin, err := workload.RunCS(cfg, workload.SpinStrategy())
 		if err != nil {
-			return nil, fmt.Errorf("platform %s spin workload: %w", p.name, err)
+			return PlatformRow{}, fmt.Errorf("platform %s spin workload: %w", p.name, err)
 		}
 		block, err := workload.RunCS(cfg, workload.BlockStrategy())
 		if err != nil {
-			return nil, fmt.Errorf("platform %s block workload: %w", p.name, err)
+			return PlatformRow{}, fmt.Errorf("platform %s block workload: %w", p.name, err)
 		}
-		rows = append(rows, PlatformRow{
+		return PlatformRow{
 			Platform:      p.name,
 			SpinOpRemote:  spinOp,
 			BlockOpRemote: blockOp,
 			SpinElapsed:   spin.Elapsed,
 			BlockElapsed:  block.Elapsed,
 			SpinOverBlock: float64(spin.Elapsed) / float64(block.Elapsed),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -23,12 +23,12 @@ type SORRow struct {
 // lock from every worker at once. Rows sweep the worker count; the
 // adaptive lock's gain at the large end is the §4 prediction under a very
 // different (bursty, barrier-synchronized) locking pattern than TSP's.
-func SORComparison(workerCounts []int) ([]SORRow, error) {
+func SORComparison(workerCounts []int, jobs int) ([]SORRow, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{8, 16, 24}
 	}
-	var rows []SORRow
-	for _, w := range workerCounts {
+	return sweep(sweepJobs(jobs, false), len(workerCounts), func(i int) (SORRow, error) {
+		w := workerCounts[i]
 		run := func(kind locks.Kind) (sor.Result, error) {
 			return sor.Solve(sor.Config{
 				Problem:  sor.Problem{N: 48, Tol: 1e-3},
@@ -38,22 +38,21 @@ func SORComparison(workerCounts []int) ([]SORRow, error) {
 		}
 		blocking, err := run(locks.KindBlocking)
 		if err != nil {
-			return nil, fmt.Errorf("sor blocking %d workers: %w", w, err)
+			return SORRow{}, fmt.Errorf("sor blocking %d workers: %w", w, err)
 		}
 		adaptive, err := run(locks.KindAdaptive)
 		if err != nil {
-			return nil, fmt.Errorf("sor adaptive %d workers: %w", w, err)
+			return SORRow{}, fmt.Errorf("sor adaptive %d workers: %w", w, err)
 		}
 		if blocking.Sweeps != adaptive.Sweeps {
-			return nil, fmt.Errorf("sor: sweep counts diverge (%d vs %d)", blocking.Sweeps, adaptive.Sweeps)
+			return SORRow{}, fmt.Errorf("sor: sweep counts diverge (%d vs %d)", blocking.Sweeps, adaptive.Sweeps)
 		}
-		rows = append(rows, SORRow{
+		return SORRow{
 			Workers:        w,
 			Blocking:       blocking.Elapsed,
 			Adaptive:       adaptive.Elapsed,
 			ImprovementPct: 100 * float64(blocking.Elapsed-adaptive.Elapsed) / float64(blocking.Elapsed),
 			Sweeps:         blocking.Sweeps,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

@@ -35,6 +35,11 @@ type TSPOptions struct {
 	// events; attaching one tracer to both runs would interleave two
 	// virtual timelines).
 	Tracer *trace.Tracer
+	// Jobs fans independent solves (the per-lock runs of a comparison, the
+	// organizations of LockPatterns, the machine sizes of
+	// ScalingComparison) out over up to Jobs workers. 0 or 1 is serial.
+	// Sweeps whose every element would share the Tracer run serially.
+	Jobs int
 }
 
 func (o TSPOptions) withDefaults() TSPOptions {
@@ -111,13 +116,36 @@ func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
 		return tsp.Solve(cfg)
 	}
 	row := TSPRow{Org: org}
-	var err error
-	if row.BlockingRes, err = run(locks.KindBlocking); err != nil {
-		return row, fmt.Errorf("tsp %s blocking: %w", org, err)
+	// The per-lock solves (and, for the centralized organization, the
+	// sequential baseline) are fully independent simulations on separate
+	// engines; fan them out. The tracer attaches only to the adaptive run,
+	// so a shared tracer never sees interleaved timelines.
+	runs := []struct {
+		name  string
+		solve func() (tsp.Result, error)
+	}{
+		{"blocking", func() (tsp.Result, error) { return run(locks.KindBlocking) }},
+		{"adaptive", func() (tsp.Result, error) { return run(locks.KindAdaptive) }},
 	}
-	if row.AdaptiveRes, err = run(locks.KindAdaptive); err != nil {
-		return row, fmt.Errorf("tsp %s adaptive: %w", org, err)
+	if org == tsp.OrgCentralized {
+		runs = append(runs, struct {
+			name  string
+			solve func() (tsp.Result, error)
+		}{"sequential", func() (tsp.Result, error) {
+			return tsp.SolveSequentialSim(in, opts.Machine, opts.StepsPerWorkUnit, 0)
+		}})
 	}
+	results, err := sweep(sweepJobs(opts.Jobs, false), len(runs), func(i int) (tsp.Result, error) {
+		res, err := runs[i].solve()
+		if err != nil {
+			return res, fmt.Errorf("tsp %s %s: %w", org, runs[i].name, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return row, err
+	}
+	row.BlockingRes, row.AdaptiveRes = results[0], results[1]
 	if row.BlockingRes.Tour.Cost != row.AdaptiveRes.Tour.Cost {
 		return row, fmt.Errorf("tsp %s: blocking found %d, adaptive %d — both must be optimal",
 			org, row.BlockingRes.Tour.Cost, row.AdaptiveRes.Tour.Cost)
@@ -126,10 +154,7 @@ func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
 	row.Adaptive = row.AdaptiveRes.Elapsed
 	row.ImprovementPct = 100 * float64(row.Blocking-row.Adaptive) / float64(row.Blocking)
 	if org == tsp.OrgCentralized {
-		seq, err := tsp.SolveSequentialSim(in, opts.Machine, opts.StepsPerWorkUnit, 0)
-		if err != nil {
-			return row, fmt.Errorf("tsp sequential: %w", err)
-		}
+		seq := results[2]
 		if seq.Tour.Cost != row.BlockingRes.Tour.Cost {
 			return row, fmt.Errorf("tsp: sequential found %d, parallel %d", seq.Tour.Cost, row.BlockingRes.Tour.Cost)
 		}
@@ -163,21 +188,28 @@ func LockPatterns(opts TSPOptions) ([]PatternFigure, error) {
 		{Figure: 9, Org: tsp.OrgDistributedLB, Lock: tsp.LockActive},
 	}
 	in := opts.instance()
-	byOrg := map[tsp.Organization]tsp.Result{}
-	for _, org := range []tsp.Organization{tsp.OrgCentralized, tsp.OrgDistributed, tsp.OrgDistributedLB} {
+	orgs := []tsp.Organization{tsp.OrgCentralized, tsp.OrgDistributed, tsp.OrgDistributedLB}
+	solved, err := sweep(sweepJobs(opts.Jobs, false), len(orgs), func(i int) (tsp.Result, error) {
 		res, err := tsp.Solve(tsp.Config{
 			Instance:         in,
 			Searchers:        opts.Searchers,
-			Org:              org,
+			Org:              orgs[i],
 			LockKind:         locks.KindBlocking,
 			Machine:          opts.Machine,
 			StepsPerWorkUnit: opts.StepsPerWorkUnit,
 			RecordPatterns:   true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("patterns %s: %w", org, err)
+			return res, fmt.Errorf("patterns %s: %w", orgs[i], err)
 		}
-		byOrg[org] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byOrg := map[tsp.Organization]tsp.Result{}
+	for i, org := range orgs {
+		byOrg[org] = solved[i]
 	}
 	for i := range figs {
 		res := byOrg[figs[i].Org]
@@ -208,20 +240,20 @@ func ScalingComparison(opts TSPOptions, searcherCounts []int) ([]ScalingRow, err
 	if len(searcherCounts) == 0 {
 		searcherCounts = []int{4, 8, 16, 24}
 	}
-	var rows []ScalingRow
-	for _, n := range searcherCounts {
+	// Every machine size would attach the same tracer to its adaptive run,
+	// so a traced sweep must stay serial to keep one coherent timeline.
+	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(searcherCounts), func(i int) (ScalingRow, error) {
 		o := opts
-		o.Searchers = n
+		o.Searchers = searcherCounts[i]
 		row, err := TSPComparison(tsp.OrgCentralized, o)
 		if err != nil {
-			return nil, fmt.Errorf("scaling %d searchers: %w", n, err)
+			return ScalingRow{}, fmt.Errorf("scaling %d searchers: %w", o.Searchers, err)
 		}
-		rows = append(rows, ScalingRow{
-			Searchers:      n,
+		return ScalingRow{
+			Searchers:      o.Searchers,
 			Blocking:       row.Blocking,
 			Adaptive:       row.Adaptive,
 			ImprovementPct: row.ImprovementPct,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }

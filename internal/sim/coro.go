@@ -53,7 +53,7 @@ func (c *Coro) Start(d Time) {
 		panic(fmt.Sprintf("sim: coro %q started twice", c.name))
 	}
 	c.started = true
-	c.eng.After(d, func() { c.eng.dispatch(c) })
+	c.eng.afterCoro(d, c)
 }
 
 // Name returns the coro's diagnostic name.
@@ -82,10 +82,7 @@ func (c *Coro) yieldToEngine() {
 // and yields. Other events run in the interim. Negative durations are
 // treated as zero (the coro still yields, letting same-time events run).
 func (c *Coro) Sleep(d Time) {
-	if d < 0 {
-		d = 0
-	}
-	c.eng.After(d, func() { c.eng.dispatch(c) })
+	c.eng.afterCoro(d, c)
 	c.yieldToEngine()
 }
 
@@ -104,7 +101,7 @@ func (c *Coro) Unpark(d Time) {
 		panic(fmt.Sprintf("sim: Unpark of non-parked coro %q", c.name))
 	}
 	c.parked = false
-	c.eng.After(d, func() { c.eng.dispatch(c) })
+	c.eng.afterCoro(d, c)
 }
 
 // Parked reports whether the coro is suspended waiting for Unpark.

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -13,32 +12,90 @@ var ErrDeadlock = errors.New("sim: deadlock: event queue empty with parked conte
 // errKilled is the panic value used to unwind a Coro during Engine shutdown.
 var errKilled = errors.New("sim: coro killed at engine shutdown")
 
-// event is a scheduled callback. Events at equal times fire in scheduling
+// event is a scheduled occurrence. Events at equal times fire in scheduling
 // order (seq breaks ties), which keeps runs deterministic.
+//
+// The common case — waking a sleeping, starting, or unparked Coro — carries
+// the coro directly in coro and leaves fn nil, so the schedule-dispatch
+// cycle allocates no closure. fn is only used for engine-level callbacks
+// (At/After).
 type event struct {
 	when Time
 	seq  uint64
 	fn   func()
+	coro *Coro
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// less orders events by (when, seq); seq is unique, so this is a total
+// order and any correct heap pops the exact same sequence.
+func (ev *event) less(other *event) bool {
+	if ev.when != other.when {
+		return ev.when < other.when
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is an index-based 4-ary min-heap over a value slice, ordered
+// by (when, seq). Storing events by value means pushes reuse the slice's
+// spare capacity — the popped slots are the free list — so steady-state
+// scheduling is allocation-free, unlike the previous container/heap
+// implementation which heap-allocated every *event and boxed it in an
+// interface{} on each Push/Pop. The 4-ary layout halves the tree depth of
+// a binary heap and keeps each node's children in one cache line.
+type eventQueue struct {
+	a []event
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+// push inserts ev, sifting it up to its (when, seq) position.
+func (q *eventQueue) push(ev event) {
+	a := append(q.a, ev)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !a[i].less(&a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	q.a = a
+}
+
+// pop removes and returns the minimum event. The vacated slot is zeroed so
+// the queue holds no stale fn/coro pointers.
+func (q *eventQueue) pop() event {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{}
+	a = a[:n]
+	q.a = a
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if a[c].less(&a[min]) {
+				min = c
+			}
+		}
+		if !a[min].less(&a[i]) {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is the discrete-event core: a virtual clock plus a priority queue
@@ -48,7 +105,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now   Time
 	seq   uint64
-	queue eventHeap
+	queue eventQueue
 
 	// yield is signalled by a Coro when it returns control to the engine.
 	yield chan struct{}
@@ -74,15 +131,22 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// At schedules fn to run at the given absolute virtual time. Scheduling in
-// the past is rounded up to the present.
-func (e *Engine) At(when Time, fn func()) {
+// schedule stamps ev with the (clamped) time and the next sequence number
+// and pushes it. Scheduling in the past is rounded up to the present.
+func (e *Engine) schedule(when Time, ev event) {
 	if when < e.now {
 		when = e.now
 	}
 	e.seq++
+	ev.when, ev.seq = when, e.seq
 	e.trace("schedule")
-	heap.Push(&e.queue, &event{when: when, seq: e.seq, fn: fn})
+	e.queue.push(ev)
+}
+
+// At schedules fn to run at the given absolute virtual time. Scheduling in
+// the past is rounded up to the present.
+func (e *Engine) At(when Time, fn func()) {
+	e.schedule(when, event{fn: fn})
 }
 
 // After schedules fn to run d from now. Negative delays fire immediately
@@ -91,14 +155,34 @@ func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now+d, fn)
+	e.schedule(e.now+d, event{fn: fn})
+}
+
+// afterCoro schedules a dispatch of c after d, carrying the coro in the
+// event itself. This is the allocation-free fast path under Coro.Start,
+// Sleep, and Unpark.
+func (e *Engine) afterCoro(d Time, c *Coro) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, event{coro: c})
+}
+
+// fire executes one popped event: a direct coro dispatch on the fast path,
+// otherwise the scheduled callback.
+func (e *Engine) fire(ev *event) {
+	if ev.coro != nil {
+		e.dispatch(ev.coro)
+		return
+	}
+	ev.fn()
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Live reports the number of spawned coros that have not yet finished.
 func (e *Engine) Live() int { return len(e.live) }
@@ -116,11 +200,11 @@ func (e *Engine) Run() error {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 && !e.stopped && e.failure == nil {
-		ev := heap.Pop(&e.queue).(*event)
+	for e.queue.len() > 0 && !e.stopped && e.failure == nil {
+		ev := e.queue.pop()
 		e.now = ev.when
 		e.trace("event")
-		ev.fn()
+		e.fire(&ev)
 	}
 
 	err := e.failure
@@ -136,22 +220,42 @@ func (e *Engine) Run() error {
 
 // RunFor runs events until the clock would pass now+d, leaving later events
 // queued. It is primarily useful in tests that examine intermediate state.
+// Like Run it refuses reentrant calls, honours Stop, and reports deadlock
+// (the queue draining inside the window with coros still parked) — but it
+// does not wind the coros down, so the caller can inspect state and then
+// resume or finish with Run.
 func (e *Engine) RunFor(d Time) error {
-	deadline := e.now + d
+	if e.running {
+		return errors.New("sim: Engine.RunFor called reentrantly")
+	}
 	e.running = true
+	e.stopped = false
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && e.failure == nil {
-		if e.queue[0].when > deadline {
+
+	deadline := e.now + d
+	for e.queue.len() > 0 && !e.stopped && e.failure == nil {
+		if e.queue.a[0].when > deadline {
 			break
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.when
-		ev.fn()
+		e.trace("event")
+		e.fire(&ev)
+	}
+
+	if e.failure != nil {
+		return e.failure
+	}
+	if e.stopped {
+		return nil
+	}
+	if e.queue.len() == 0 && len(e.live) > 0 {
+		return fmt.Errorf("%w (%d parked)", ErrDeadlock, len(e.live))
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return e.failure
+	return nil
 }
 
 // shutdown unwinds any coros that are still parked by resuming them with

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -107,6 +108,94 @@ func TestEngineRunFor(t *testing.T) {
 	if len(fired) != 4 {
 		t.Fatalf("after full Run fired %v, want all 4", fired)
 	}
+}
+
+func TestEngineRunForReentrancyGuard(t *testing.T) {
+	e := NewEngine()
+	var inner, innerRun error
+	e.At(1, func() {
+		inner = e.RunFor(10)
+		innerRun = e.Run()
+	})
+	if err := e.RunFor(5); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if inner == nil {
+		t.Fatal("reentrant RunFor did not error")
+	}
+	if innerRun == nil {
+		t.Fatal("Run inside RunFor did not error")
+	}
+}
+
+func TestEngineRunForHonoursStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	if err := e.RunFor(10); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Stop must also freeze the clock at the stop point, not jump to the
+	// deadline the way an exhausted window does.
+	if e.Now() != 1 {
+		t.Fatalf("Now = %v after Stop, want 1", e.Now())
+	}
+}
+
+func TestEngineRunForReportsDeadlock(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("stuck", func(c *Coro) { c.Park() })
+	c.Start(0)
+	err := e.RunFor(100)
+	if err == nil {
+		t.Fatal("RunFor returned nil with a parked-forever coro and a drained queue")
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("RunFor error = %v, want ErrDeadlock", err)
+	}
+	// RunFor leaves state intact for inspection; a follow-up Run performs
+	// the actual wind-down.
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d after RunFor, want 1 (no wind-down)", e.Live())
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("follow-up Run should still report the deadlock")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after Run, want 0", e.Live())
+	}
+}
+
+func TestEngineRunForNoDeadlockWithFutureWakeup(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("sleeper", func(c *Coro) { c.Sleep(1000) })
+	c.Start(0)
+	// The wakeup at t=1000 lies beyond the window: not a deadlock.
+	if err := e.RunFor(10); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineRunForSurfacesCoroFailure(t *testing.T) {
+	e := NewEngine()
+	c := e.Spawn("boom", func(c *Coro) { panic("kaboom") })
+	c.Start(5)
+	err := e.RunFor(10)
+	if err == nil {
+		t.Fatal("RunFor returned nil despite coro panic")
+	}
+	// Unwind for goroutine hygiene.
+	_ = e.Run()
 }
 
 func TestCoroSleepAdvancesVirtualTime(t *testing.T) {
