@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments clean
+.PHONY: all build vet test race bench bench-compare experiments clean
 
 all: build vet test
 
@@ -28,6 +28,15 @@ bench:
 	cat bench_micro.out bench_macro.out
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json bench_micro.out bench_macro.out
 	rm -f bench_micro.out bench_macro.out
+
+# Regression gate: rerun every benchmark once and diff the deterministic
+# sim-* metrics against the committed baseline. Wall-clock numbers are
+# report-only; any simulated-metric drift fails the target.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x ./internal/sim > bench_check.out
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x . >> bench_check.out
+	$(GO) run ./cmd/benchjson -compare BENCH_sim.json bench_check.out
+	rm -f bench_check.out
 
 # Regenerate every table and figure of the paper.
 experiments: build

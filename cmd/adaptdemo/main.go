@@ -25,7 +25,13 @@ func main() {
 	log.SetPrefix("adaptdemo: ")
 	procs := cli.ProcsFlag(flag.CommandLine, 8)
 	tf := cli.TraceFlags(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer prof.Stop()
 
 	sys := cthreads.New(sim.Config{Nodes: *procs})
 	tracer := tf.Tracer()
@@ -98,6 +104,9 @@ func main() {
 		st.Decisions, st.Applied, st.Rejected, l.Object().ReconfigCost())
 	fmt.Printf("final configuration: %s\n", l.Object().Configuration())
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -10,6 +10,16 @@
 //
 //	go test -run '^$' -bench . -benchmem ./internal/sim > micro.out
 //	benchjson -out BENCH_sim.json micro.out [more.out ...]
+//
+// With -compare it acts as a regression gate instead: the fresh run is
+// diffed against the committed baseline, and any drift in a deterministic
+// custom metric (the sim-* quantities, ratios, and thresholds the
+// benchmarks report) is a hard failure. Wall-clock numbers (ns/op, B/op,
+// allocs/op) move with the hardware and the implementation, so they are
+// reported but never gate:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x . > macro.out
+//	benchjson -compare BENCH_sim.json macro.out
 package main
 
 import (
@@ -21,8 +31,11 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/cli"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -52,7 +65,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("out", "BENCH_sim.json", "output JSON path (- for stdout)")
+	compare := flag.String("compare", "",
+		"baseline JSON to diff the fresh run against; exits 1 on any deterministic-metric drift (no output file is written)")
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer prof.Stop()
 
 	base := Baseline{
 		Note: "benchmark baseline written by `make bench`; sim-* metrics are deterministic, ns/op is hardware-dependent",
@@ -74,6 +95,22 @@ func main() {
 		log.Fatal("no benchmark lines found in input")
 	}
 
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var committed Baseline
+		if err := json.Unmarshal(raw, &committed); err != nil {
+			log.Fatalf("parsing %s: %v", *compare, err)
+		}
+		if drift := compareBaselines(&committed, &base, os.Stdout); drift > 0 {
+			log.Fatalf("%d deterministic metric(s) drifted from %s", drift, *compare)
+		}
+		fmt.Printf("benchjson: no deterministic drift against %s\n", *compare)
+		return
+	}
+
 	enc, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +124,81 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(base.Benchmarks), *out)
+}
+
+// deterministicMetric reports whether a custom metric unit is an exact
+// regression anchor. Everything the benchmarks emit via b.ReportMetric is
+// a simulated quantity and therefore deterministic, except throughput,
+// which go test derives from wall-clock time.
+func deterministicMetric(unit string) bool { return unit != "MB/s" }
+
+// compareBaselines diffs a fresh run against the committed baseline. It
+// returns the number of drifted deterministic metrics — missing, added,
+// or changed on any benchmark present in both runs — and writes both the
+// failures and the report-only wall-clock deltas to w. Benchmarks only in
+// one of the two runs are noted but never gate, so a quick partial run
+// (e.g. CI's Table1 smoke) can still compare what it has.
+func compareBaselines(committed, fresh *Baseline, w io.Writer) (drift int) {
+	freshByName := map[string]*Benchmark{}
+	for i := range fresh.Benchmarks {
+		b := &fresh.Benchmarks[i]
+		freshByName[b.Name] = b
+	}
+	compared := 0
+	for i := range committed.Benchmarks {
+		old := &committed.Benchmarks[i]
+		new, ok := freshByName[old.Name]
+		if !ok {
+			fmt.Fprintf(w, "  skip   %-32s not in this run\n", old.Name)
+			continue
+		}
+		delete(freshByName, old.Name)
+		compared++
+		if old.NsPerOp > 0 && new.NsPerOp > 0 {
+			fmt.Fprintf(w, "  ns/op  %-32s %14.4g -> %-14.4g (%+.1f%%, report-only)\n",
+				old.Name, old.NsPerOp, new.NsPerOp, 100*(new.NsPerOp-old.NsPerOp)/old.NsPerOp)
+		}
+		units := map[string]bool{}
+		for u := range old.Metrics {
+			units[u] = true
+		}
+		for u := range new.Metrics {
+			units[u] = true
+		}
+		keys := make([]string, 0, len(units))
+		for u := range units {
+			keys = append(keys, u)
+		}
+		sort.Strings(keys)
+		for _, u := range keys {
+			if !deterministicMetric(u) {
+				continue
+			}
+			ov, inOld := old.Metrics[u]
+			nv, inNew := new.Metrics[u]
+			switch {
+			case !inOld:
+				drift++
+				fmt.Fprintf(w, "  DRIFT  %s: metric %q = %g not in baseline\n", old.Name, u, nv)
+			case !inNew:
+				drift++
+				fmt.Fprintf(w, "  DRIFT  %s: metric %q = %g missing from this run\n", old.Name, u, ov)
+			case ov != nv:
+				drift++
+				fmt.Fprintf(w, "  DRIFT  %s: metric %q = %g, baseline %g\n", old.Name, u, nv, ov)
+			}
+		}
+	}
+	extra := make([]string, 0, len(freshByName))
+	for name := range freshByName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "  new    %-32s not in baseline (add via `make bench`)\n", name)
+	}
+	fmt.Fprintf(w, "benchjson: compared %d benchmark(s), %d drifted\n", compared, drift)
+	return drift
 }
 
 // parse consumes one `go test -bench` output stream, picking up the

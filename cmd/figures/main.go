@@ -24,7 +24,13 @@ func main() {
 	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
 	jobs := cli.JobsFlag(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer prof.Stop()
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 	printed := false
@@ -112,5 +118,8 @@ func main() {
 	if !printed {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all)\n", *fig)
 		os.Exit(2)
+	}
+	if err := prof.Stop(); err != nil {
+		log.Fatal(err)
 	}
 }

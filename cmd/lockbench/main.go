@@ -26,7 +26,13 @@ func main() {
 	procs := cli.ProcsFlag(flag.CommandLine, 0)
 	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer prof.Stop()
 
 	tracer := tf.Tracer()
 	opts := experiments.Options{Iters: *iters, Tracer: tracer, Jobs: *jobs}
@@ -81,6 +87,9 @@ func main() {
 		os.Exit(2)
 	}
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -36,7 +36,13 @@ func main() {
 	csvdir := flag.String("csvdir", "", "with -patterns, also write each figure's series as CSV into this directory")
 	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
+	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer prof.Stop()
 
 	tracer := tf.Tracer()
 	opts := experiments.TSPOptions{
@@ -136,6 +142,9 @@ func main() {
 	}
 
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
 }

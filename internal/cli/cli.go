@@ -1,10 +1,10 @@
 // Package cli centralizes the flag plumbing shared by the cmd/ binaries:
 // the -trace family (path, capacity, category selection, derived reports),
-// the deterministic -seed, the -procs processor count, and the -j sweep
-// parallelism. Each binary
+// the deterministic -seed, the -procs processor count, the -j sweep
+// parallelism, and the -cpuprofile/-memprofile pair. Each binary
 // registers what it needs through these helpers so flag names, defaults,
 // and usage strings stay consistent across lockbench, tspbench, adaptdemo,
-// and figures.
+// figures, and benchjson.
 package cli
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/trace"
@@ -99,6 +100,75 @@ func SeedFlag(fs *flag.FlagSet, def uint64) *uint64 {
 // ProcsFlag registers the shared processor-count flag.
 func ProcsFlag(fs *flag.FlagSet, def int) *int {
 	return fs.Int("procs", def, "simulated processors")
+}
+
+// Profile holds the values of the shared -cpuprofile/-memprofile flags,
+// so hot-path work on the simulator starts from a profile of the real
+// binaries rather than a guess.
+type Profile struct {
+	// CPU is the -cpuprofile output file; empty disables CPU profiling.
+	CPU string
+	// Mem is the -memprofile output file; empty disables the heap profile.
+	Mem string
+
+	cpuFile *os.File
+}
+
+// ProfileFlags registers the shared profiling flags on fs and returns the
+// struct they fill in at Parse time.
+func ProfileFlags(fs *flag.FlagSet) *Profile {
+	p := &Profile{}
+	fs.StringVar(&p.CPU, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file")
+	fs.StringVar(&p.Mem, "memprofile", "",
+		"write a pprof allocation profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling if -cpuprofile was given. Call Stop (usually
+// deferred) before exiting; profiles are only written on a run that
+// reaches it. With neither flag set, both calls are no-ops.
+func (p *Profile) Start() error {
+	if p.CPU == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPU)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the allocation profile. It is
+// idempotent, so it is safe both deferred and called explicitly.
+func (p *Profile) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := p.cpuFile.Close()
+		p.cpuFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush recently freed objects out of the heap profile
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		p.Mem = ""
+		return err
+	}
+	return nil
 }
 
 // JobsFlag registers the shared sweep-parallelism flag. Independent

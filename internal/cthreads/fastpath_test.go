@@ -1,0 +1,186 @@
+package cthreads
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestQuantumPreemptionExactTiming pins the fast path × preemption
+// interplay to absolute numbers: an Advance that crosses a slice boundary
+// is preempted at exactly the same virtual time whether or not its
+// intra-slice sleeps ran inline, and the preemption count is unchanged.
+func TestQuantumPreemptionExactTiming(t *testing.T) {
+	const (
+		quantum = 100 * sim.Microsecond
+		cs      = 35 * sim.Microsecond // DefaultConfig().ContextSwitch
+	)
+	for _, inline := range []bool{true, false} {
+		sys := New(sim.Config{Nodes: 1, Quantum: quantum})
+		sys.Engine().SetInlineWakeups(inline)
+		var bFirstRan sim.Time
+		sys.Fork(0, "a", func(th *Thread) {
+			// 2.5 quanta: preempted at the first slice boundary; by the
+			// second, b has finished and the ready queue is empty.
+			th.Advance(250 * sim.Microsecond)
+		})
+		sys.Fork(0, "b", func(th *Thread) {
+			bFirstRan = th.Now()
+			th.Advance(10 * sim.Microsecond)
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// a is dispatched at t=cs, runs one full quantum, is preempted, and
+		// b is dispatched one context switch later.
+		if want := cs + quantum + cs; bFirstRan != want {
+			t.Fatalf("inline=%v: b first ran at %v, want %v", inline, bFirstRan, want)
+		}
+		if got := sys.Stats().Preemptions; got != 1 {
+			t.Fatalf("inline=%v: Preemptions = %d, want 1", inline, got)
+		}
+	}
+}
+
+// threadObs collects everything observable about one thread-system run.
+type threadObs struct {
+	log      []string
+	stats    Stats
+	finalNow sim.Time
+	busy     []sim.Time
+	blocked  []sim.Time
+	queueDel []sim.Time
+}
+
+// runThreadWorkload executes a deterministic multiprogrammed workload —
+// threads outnumber processors, a quantum forces preemption mid-Advance,
+// cells live on every node with module contention enabled, and threads
+// block, time out, wake each other, yield, and join — with the engine's
+// inline-wakeup fast path on or off.
+func runThreadWorkload(t *testing.T, seed uint64, inline bool) threadObs {
+	t.Helper()
+	cfg := sim.Config{
+		Nodes:         3,
+		Quantum:       80 * sim.Microsecond,
+		ModuleService: 300 * sim.Nanosecond,
+		Seed:          seed,
+	}
+	sys := New(cfg)
+	sys.Engine().SetInlineWakeups(inline)
+	m := sys.Machine()
+	cells := make([]*sim.Cell, cfg.Nodes)
+	for i := range cells {
+		cells[i] = m.NewCell(i, fmt.Sprintf("c%d", i), 0)
+	}
+	var obs threadObs
+	record := func(who string) {
+		obs.log = append(obs.log, fmt.Sprintf("%s@%d", who, sys.Now()))
+	}
+
+	var sleeper *Thread
+	sleeper = sys.Fork(0, "sleeper", func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Block()
+			record("sleeper-woke")
+			th.Compute(40)
+		}
+	})
+	var workers []*Thread
+	for i := 0; i < 6; i++ {
+		i := i
+		w := sys.Fork(i%cfg.Nodes, fmt.Sprintf("w%d", i), func(th *Thread) {
+			r := th.Rand()
+			for step := 0; step < 8; step++ {
+				th.Compute(1 + r.Intn(400)) // often crosses a slice boundary
+				c := cells[r.Intn(len(cells))]
+				old := c.AtomicOr(th, 1<<uint(i))
+				if old&1 != 0 {
+					record(th.Name() + "-sawbit")
+				}
+				switch r.Intn(5) {
+				case 0:
+					th.Yield()
+				case 1:
+					if th.BlockTimeout(sim.Time(r.Intn(50)) * sim.Microsecond) {
+						record(th.Name() + "-timeout")
+					}
+				case 2:
+					if i == 1 && sleeper.State() == StateBlocked {
+						th.Wake(sleeper)
+					}
+				}
+			}
+			record(th.Name() + "-done")
+		})
+		workers = append(workers, w)
+	}
+	// A reaper joins every worker, then drains the sleeper's remaining
+	// Block iterations so the run terminates cleanly.
+	sys.Fork(2, "reaper", func(th *Thread) {
+		for _, w := range workers {
+			th.Join(w)
+		}
+		for sleeper.State() != StateDone {
+			if sleeper.State() == StateBlocked {
+				th.Wake(sleeper)
+			} else {
+				th.Yield()
+			}
+		}
+		record("reaper-done")
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatalf("seed %d inline=%v: %v", seed, inline, err)
+	}
+	obs.stats = sys.Stats()
+	obs.finalNow = sys.Now()
+	for _, th := range sys.Threads() {
+		obs.busy = append(obs.busy, th.Busy())
+		obs.blocked = append(obs.blocked, th.BlockedTime())
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		obs.queueDel = append(obs.queueDel, m.ModuleQueueDelay(n))
+	}
+	return obs
+}
+
+// TestInlineWakeupThreadDifferential runs the full thread-package workload
+// — preemption, blocking, timeouts, wakeups, module contention — with the
+// fast path off and on, and asserts identical logs, scheduler statistics,
+// per-thread accounting, and module-contention delays.
+func TestInlineWakeupThreadDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		fast := runThreadWorkload(t, seed, true)
+		slow := runThreadWorkload(t, seed, false)
+		if fast.stats != slow.stats {
+			t.Fatalf("seed %d: stats diverge: fast %+v, slow %+v", seed, fast.stats, slow.stats)
+		}
+		if fast.finalNow != slow.finalNow {
+			t.Fatalf("seed %d: final time diverges: fast %v, slow %v", seed, fast.finalNow, slow.finalNow)
+		}
+		if fast.stats.Preemptions == 0 {
+			t.Fatalf("seed %d: workload never preempted; quantum interplay untested", seed)
+		}
+		for i := range fast.busy {
+			if fast.busy[i] != slow.busy[i] || fast.blocked[i] != slow.blocked[i] {
+				t.Fatalf("seed %d: thread %d accounting diverges: fast (%v,%v), slow (%v,%v)",
+					seed, i, fast.busy[i], fast.blocked[i], slow.busy[i], slow.blocked[i])
+			}
+		}
+		for n := range fast.queueDel {
+			if fast.queueDel[n] != slow.queueDel[n] {
+				t.Fatalf("seed %d: module %d queue delay diverges: fast %v, slow %v",
+					seed, n, fast.queueDel[n], slow.queueDel[n])
+			}
+		}
+		if len(fast.log) != len(slow.log) {
+			t.Fatalf("seed %d: log lengths diverge: fast %d, slow %d", seed, len(fast.log), len(slow.log))
+		}
+		for i := range fast.log {
+			if fast.log[i] != slow.log[i] {
+				t.Fatalf("seed %d: logs diverge at %d: fast %q, slow %q", seed, i, fast.log[i], slow.log[i])
+			}
+		}
+	}
+}

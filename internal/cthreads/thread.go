@@ -90,6 +90,12 @@ func (t *Thread) mustBeRunning(op string) {
 // thread's processor. The processor remains occupied for the duration,
 // except that with a machine quantum configured the thread is preempted
 // (round-robin) whenever its slice expires while other threads are ready.
+//
+// The coro.Sleep calls below are the simulator's hottest self-wakeup
+// sites and usually run inline (see sim.Coro.Sleep). Preemption is
+// unaffected: the quantum loop re-checks sliceLeft after every Sleep
+// regardless of which path it took, so a thread crossing a slice boundary
+// is parked at exactly the same virtual time either way.
 func (t *Thread) Advance(d sim.Time) {
 	t.mustBeRunning("Advance")
 	if d < 0 {

@@ -75,7 +75,9 @@ func (l *LocalSpinLock) Lock(t *cthreads.Thread) {
 	// Link behind the predecessor: one reference to its node.
 	t.Advance(l.sys.Machine().AccessCost(t.Node(), pred.t.Node()))
 	pred.next = qn
-	for qn.wait.Load(t) != 0 { // LOCAL spin
+	// LOCAL spin: cheap probes of the waiter's own module, riding the
+	// engine's inline self-wakeup fast path between genuine handoffs.
+	for qn.wait.Load(t) != 0 {
 		l.stats.SpinIters++
 		t.Compute(l.costs.SpinPauseSteps)
 	}

@@ -17,7 +17,10 @@ func NewSpinLock(sys *cthreads.System, node int, name string, costs Costs) *Spin
 	return &SpinLock{base: newBase(sys, node, name, costs)}
 }
 
-// Lock busy-waits until acquisition.
+// Lock busy-waits until acquisition. Each iteration charges a pause plus
+// an atomic probe; uncontended iterations accrue on the engine's inline
+// self-wakeup fast path, so a spin cycle costs no goroutine round-trips
+// unless another context's event is actually due first.
 func (l *SpinLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.SpinLockSteps)

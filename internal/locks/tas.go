@@ -14,7 +14,9 @@ func NewTASLock(sys *cthreads.System, node int, name string, costs Costs) *TASLo
 	return &TASLock{base: newBase(sys, node, name, costs)}
 }
 
-// Lock spins on atomior until the word is clear.
+// Lock spins on atomior until the word is clear. The probe loop is a
+// Sleep-per-iteration hot site: its charges ride the engine's inline
+// self-wakeup fast path whenever no other event is due first.
 func (l *TASLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.TASLockSteps)

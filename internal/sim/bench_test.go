@@ -36,6 +36,24 @@ func BenchmarkCoroSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkCoroSwitchSlowPath measures the same round trip with inline
+// self-wakeups disabled: the event allocation-free heap cycle plus two
+// goroutine handoffs every Sleep paid before the fast path existed.
+func BenchmarkCoroSwitchSlowPath(b *testing.B) {
+	e := NewEngine()
+	e.SetInlineWakeups(false)
+	c := e.Spawn("bench", func(c *Coro) {
+		for i := 0; i < b.N; i++ {
+			c.Sleep(1)
+		}
+	})
+	c.Start(0)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkCellAtomicOr measures the simulated atomic primitive including
 // its latency charge.
 func BenchmarkCellAtomicOr(b *testing.B) {

@@ -32,13 +32,18 @@ func (c *Cell) Node() int { return c.node }
 func (c *Cell) Name() string { return c.name }
 
 // charge advances a by the plain-reference cost to this cell, including
-// any module-contention delay.
+// any module-contention delay. The Advance usually accrues in place via
+// the engine's inline self-wakeup fast path (see Coro.Sleep): a cell
+// access whose completion time precedes every pending event advances the
+// clock without a goroutine round-trip, and the mutation below still
+// lands at the same virtual instant it would have on the slow path.
 func (c *Cell) charge(a Accessor) {
 	c.m.chargeAccess(a, c.node, 0)
 }
 
 // chargeAtomic advances a by the read-modify-write cost to this cell,
-// including any module-contention delay.
+// including any module-contention delay. Like charge, it is an in-place
+// accrual candidate on the fast path.
 func (c *Cell) chargeAtomic(a Accessor) {
 	c.m.chargeAccess(a, c.node, c.m.cfg.AtomicExtra)
 }

@@ -13,6 +13,7 @@ import "fmt"
 type Coro struct {
 	eng    *Engine
 	name   string
+	id     uint64
 	resume chan struct{}
 
 	started bool
@@ -25,7 +26,8 @@ type Coro struct {
 // Start (or a manual Unpark) schedules it. The name appears in error
 // messages.
 func (e *Engine) Spawn(name string, fn func(c *Coro)) *Coro {
-	c := &Coro{eng: e, name: name, resume: make(chan struct{})}
+	e.coroSeq++
+	c := &Coro{eng: e, name: name, id: e.coroSeq, resume: make(chan struct{})}
 	e.live[c] = struct{}{}
 	go func() {
 		<-c.resume
@@ -59,6 +61,10 @@ func (c *Coro) Start(d Time) {
 // Name returns the coro's diagnostic name.
 func (c *Coro) Name() string { return c.name }
 
+// ID returns the coro's spawn-order number (1 for the first Spawn on its
+// engine). Shutdown unwinds live coros in this order.
+func (c *Coro) ID() uint64 { return c.id }
+
 // Done reports whether the coro's function has returned.
 func (c *Coro) Done() bool { return c.done }
 
@@ -78,11 +84,33 @@ func (c *Coro) yieldToEngine() {
 	}
 }
 
-// Sleep advances the coro's virtual time by d: it schedules its own wakeup
-// and yields. Other events run in the interim. Negative durations are
-// treated as zero (the coro still yields, letting same-time events run).
+// Sleep advances the coro's virtual time by d: other events run in the
+// interim, exactly as if the coro had scheduled its own wakeup and yielded.
+// Negative durations are treated as zero (same-time events still run
+// first, in scheduling order).
+//
+// Fast path: when the wakeup at now+d is strictly earlier than every
+// pending event, the engine invariant (one active context, completion-time
+// dispatch order) guarantees this coro would be dispatched next with
+// nothing running in between — so the engine advances now and seq in place
+// (a "virtual dispatch") and the coro keeps running, skipping the heap
+// push/pop and the two goroutine handoffs. Equal wakeup times must take
+// the slow path: an already-queued event at the same time holds a smaller
+// seq and fires first. Tracer-installed engines also take the slow path so
+// the schedule/event stream stays complete, a killed coro must reach
+// yieldToEngine to unwind, and RunFor's window bounds inline advancement.
 func (c *Coro) Sleep(d Time) {
-	c.eng.afterCoro(d, c)
+	e := c.eng
+	if d < 0 {
+		d = 0
+	}
+	if !e.noInline && !c.killed {
+		if when := e.now + d; e.canInline(when) {
+			e.advanceInline(when)
+			return
+		}
+	}
+	e.afterCoro(d, c)
 	c.yieldToEngine()
 }
 

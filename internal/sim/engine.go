@@ -112,8 +112,22 @@ type Engine struct {
 	// live tracks spawned coros that have not finished, for shutdown and
 	// deadlock detection.
 	live map[*Coro]struct{}
+	// coroSeq numbers coros in spawn order so shutdown can unwind them
+	// deterministically.
+	coroSeq uint64
 	// failure records the first panic raised inside a Coro.
 	failure error
+
+	// noInline disables the self-wakeup fast path (see Coro.Sleep): when a
+	// sleeping coro's wakeup would provably be the next event dispatched,
+	// the engine advances the clock in place and lets the coro keep running
+	// instead of parking it. The zero value keeps the fast path on; tests
+	// force it off to prove both paths produce identical histories.
+	noInline bool
+	// limited/limit bound inline time advancement to RunFor's window, so a
+	// coro cannot run past the deadline the engine loop would stop at.
+	limited bool
+	limit   Time
 
 	running bool
 	stopped bool
@@ -130,6 +144,42 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetInlineWakeups enables (the default) or disables the self-wakeup fast
+// path: a coro whose Sleep wakeup is provably the next dispatch advances
+// the clock in place and keeps running, skipping the event heap and the
+// goroutine round-trip. Both settings produce byte-identical histories —
+// the differential test suite runs every workload both ways — so the only
+// reason to turn it off is to exercise or measure the slow path.
+func (e *Engine) SetInlineWakeups(on bool) { e.noInline = !on }
+
+// InlineWakeups reports whether the self-wakeup fast path is enabled.
+func (e *Engine) InlineWakeups() bool { return !e.noInline }
+
+// canInline reports whether a self-wakeup at when may run inline: no
+// tracer observing schedule/event occurrences, the engine not stopping,
+// the wakeup strictly earlier than every pending event (equal times must
+// go through the heap — an already-queued event at the same time has a
+// smaller seq and fires first), and within RunFor's window when one is
+// active. Callers have already checked noInline and the coro's own state.
+func (e *Engine) canInline(when Time) bool {
+	if e.tracer != nil || e.stopped {
+		return false
+	}
+	if e.queue.len() > 0 && when >= e.queue.a[0].when {
+		return false
+	}
+	return !e.limited || when <= e.limit
+}
+
+// advanceInline performs the virtual dispatch of an inline self-wakeup:
+// the clock and sequence counter move exactly as if the wakeup event had
+// been scheduled, popped, and fired, so everything observable downstream
+// (Now, tie-break order among later events) is identical to the slow path.
+func (e *Engine) advanceInline(when Time) {
+	e.seq++
+	e.now = when
+}
 
 // schedule stamps ev with the (clamped) time and the next sequence number
 // and pushes it. Scheduling in the past is rounded up to the present.
@@ -233,6 +283,8 @@ func (e *Engine) RunFor(d Time) error {
 	defer func() { e.running = false }()
 
 	deadline := e.now + d
+	e.limited, e.limit = true, deadline
+	defer func() { e.limited = false }()
 	for e.queue.len() > 0 && !e.stopped && e.failure == nil {
 		if e.queue.a[0].when > deadline {
 			break
@@ -260,14 +312,16 @@ func (e *Engine) RunFor(d Time) error {
 
 // shutdown unwinds any coros that are still parked by resuming them with
 // the kill flag set; each panics with errKilled, which its wrapper absorbs.
+// Coros unwind in spawn order (lowest id first) so kill-path traces and
+// panic diagnostics are reproducible run to run — ranging over the live
+// map would pick an arbitrary victim each iteration.
 func (e *Engine) shutdown() {
 	for len(e.live) > 0 {
 		var c *Coro
-		// Pick an arbitrary live coro; order does not matter because each
-		// unwinds independently without touching simulated state.
 		for k := range e.live {
-			c = k
-			break
+			if c == nil || k.id < c.id {
+				c = k
+			}
 		}
 		c.killed = true
 		e.dispatch(c)

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInlineWakeupAdvancesInPlace checks the fast path's visible contract:
+// a lone sleeping coro advances the clock without any event traffic, and
+// the (now, seq) observables match what the slow path would produce.
+func TestInlineWakeupAdvancesInPlace(t *testing.T) {
+	run := func(inline bool) (times []Time, seqs []uint64) {
+		e := NewEngine()
+		e.SetInlineWakeups(inline)
+		c := e.Spawn("s", func(c *Coro) {
+			for _, d := range []Time{5, 0, 17, 3} {
+				c.Sleep(d)
+				times = append(times, e.Now())
+				seqs = append(seqs, e.seq)
+			}
+		})
+		c.Start(0)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times, seqs
+	}
+	fastT, fastS := run(true)
+	slowT, slowS := run(false)
+	for i := range fastT {
+		if fastT[i] != slowT[i] || fastS[i] != slowS[i] {
+			t.Fatalf("observables diverge at step %d: fast (%v,%d), slow (%v,%d)",
+				i, fastT[i], fastS[i], slowT[i], slowS[i])
+		}
+	}
+	if want := []Time{5, 5, 22, 25}; fastT[0] != want[0] || fastT[3] != want[3] {
+		t.Fatalf("times = %v, want %v", fastT, want)
+	}
+}
+
+// TestInlineWakeupYieldsToSameTimeEvents checks the equal-time rule: a
+// Sleep whose wakeup coincides with an already-queued event must take the
+// slow path so the earlier-scheduled event still fires first.
+func TestInlineWakeupYieldsToSameTimeEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(10, func() { order = append(order, "event") })
+	c := e.Spawn("s", func(c *Coro) {
+		c.Sleep(10) // wakeup at 10, same time as the queued event
+		order = append(order, "coro")
+	})
+	c.Start(0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "event" || order[1] != "coro" {
+		t.Fatalf("order = %v, want [event coro]", order)
+	}
+}
+
+// TestInlineWakeupRespectsRunForWindow checks that inline advancement
+// cannot carry the clock past a RunFor deadline the engine loop would have
+// stopped at.
+func TestInlineWakeupRespectsRunForWindow(t *testing.T) {
+	e := NewEngine()
+	var seen []Time
+	c := e.Spawn("s", func(c *Coro) {
+		for i := 0; i < 4; i++ {
+			c.Sleep(4)
+			seen = append(seen, e.Now())
+		}
+	})
+	c.Start(0)
+	if err := e.RunFor(10); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v after RunFor(10), want 10", e.Now())
+	}
+	if len(seen) != 2 || seen[0] != 4 || seen[1] != 8 {
+		t.Fatalf("wakeups inside window = %v, want [4 8]", seen)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 || seen[3] != 16 {
+		t.Fatalf("wakeups after Run = %v, want last at 16", seen)
+	}
+}
+
+// TestInlineWakeupDisabledByTracer checks that an installed engine tracer
+// forces the slow path, keeping the schedule/event stream complete.
+func TestInlineWakeupDisabledByTracer(t *testing.T) {
+	e := NewEngine()
+	var schedules, events int
+	e.SetTracer(func(at Time, what string) {
+		switch what {
+		case "schedule":
+			schedules++
+		case "event":
+			events++
+		}
+	})
+	c := e.Spawn("s", func(c *Coro) {
+		for i := 0; i < 3; i++ {
+			c.Sleep(1)
+		}
+	})
+	c.Start(0)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Start + 3 sleeps = 4 schedules and 4 dispatched events.
+	if schedules != 4 || events != 4 {
+		t.Fatalf("traced schedules=%d events=%d, want 4 and 4", schedules, events)
+	}
+}
+
+// TestShutdownUnwindsInSpawnOrder checks the deterministic kill path:
+// parked coros are unwound in spawn order, every run.
+func TestShutdownUnwindsInSpawnOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		var unwound []int
+		for i := 0; i < 8; i++ {
+			i := i
+			c := e.Spawn(fmt.Sprintf("p%d", i), func(c *Coro) {
+				defer func() { unwound = append(unwound, i) }()
+				c.Park()
+			})
+			// Start in reverse order to decouple spawn order from start order.
+			c.Start(Time(8 - i))
+		}
+		if err := e.Run(); err == nil {
+			t.Fatal("expected deadlock error")
+		}
+		if len(unwound) != 8 {
+			t.Fatalf("trial %d: unwound %d coros, want 8", trial, len(unwound))
+		}
+		for i, id := range unwound {
+			if id != i {
+				t.Fatalf("trial %d: unwind order %v, not spawn order", trial, unwound)
+			}
+		}
+	}
+}
+
+// workloadObs is everything observable a differential run records: a log
+// line per action (stamped with virtual time and engine sequence number)
+// plus the final clock and sequence state.
+type workloadObs struct {
+	log      []string
+	finalNow Time
+	finalSeq uint64
+}
+
+// runDifferentialWorkload builds a pseudo-random workload from seed — coros
+// mixing sleeps of many sizes (zero, tiny, overlapping, disjoint), engine
+// callbacks, park/unpark pairs, and mid-run spawns — and executes it with
+// the inline-wakeup fast path on or off. Every random value is drawn from
+// per-coro streams forked in spawn order and precomputed before any
+// closure is scheduled, so the two modes consume randomness identically
+// and any divergence in the observation log is a real behavioral
+// difference.
+func runDifferentialWorkload(t *testing.T, seed uint64, inline bool) workloadObs {
+	t.Helper()
+	e := NewEngine()
+	e.SetInlineWakeups(inline)
+	root := NewRNG(seed)
+	var obs workloadObs
+	record := func(who string) {
+		obs.log = append(obs.log, fmt.Sprintf("%s@%d#%d", who, e.now, e.seq))
+	}
+
+	var body func(name string, r *RNG, steps, depth int) func(*Coro)
+	body = func(name string, r *RNG, steps, depth int) func(*Coro) {
+		return func(c *Coro) {
+			for s := 0; s < steps; s++ {
+				switch r.Intn(12) {
+				case 0, 1, 2, 3, 4, 5:
+					c.Sleep(Time(r.Intn(7))) // often 0 or colliding with others
+				case 6:
+					c.Sleep(Time(50 + r.Intn(50))) // far ahead: likely inline
+				case 7:
+					record(name)
+				case 8:
+					cb := fmt.Sprintf("%s-cb%d", name, s)
+					e.After(Time(r.Intn(9)), func() { record(cb) })
+				case 9:
+					// Park with the unpark event scheduled first; the coro
+					// parks before the event can possibly fire.
+					d := Time(1 + r.Intn(5))
+					wake := Time(r.Intn(3))
+					e.After(d, func() { c.Unpark(wake) })
+					c.Park()
+					record(name + "-unparked")
+				case 10:
+					if depth < 2 {
+						child := fmt.Sprintf("%s.%d", name, s)
+						childSteps := 1 + r.Intn(4)
+						childStart := Time(r.Intn(6))
+						cc := e.Spawn(child, body(child, r.Fork(), childSteps, depth+1))
+						cc.Start(childStart)
+					} else {
+						c.Sleep(Time(r.Intn(4)))
+					}
+				case 11:
+					record(name + "-tick")
+					c.Sleep(1)
+				}
+			}
+			record(name + "-done")
+		}
+	}
+
+	n := 2 + root.Intn(5)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		c := e.Spawn(name, body(name, root.Fork(), 3+root.Intn(10), 0))
+		c.Start(Time(root.Intn(4)))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("seed %d inline=%v: %v", seed, inline, err)
+	}
+	obs.finalNow, obs.finalSeq = e.now, e.seq
+	return obs
+}
+
+// diffObs fails the test if two observation logs differ anywhere.
+func diffObs(t *testing.T, seed uint64, fast, slow workloadObs) {
+	t.Helper()
+	if fast.finalNow != slow.finalNow || fast.finalSeq != slow.finalSeq {
+		t.Fatalf("seed %d: final state diverges: fast (now=%v seq=%d), slow (now=%v seq=%d)",
+			seed, fast.finalNow, fast.finalSeq, slow.finalNow, slow.finalSeq)
+	}
+	if len(fast.log) != len(slow.log) {
+		t.Fatalf("seed %d: log lengths diverge: fast %d, slow %d",
+			seed, len(fast.log), len(slow.log))
+	}
+	for i := range fast.log {
+		if fast.log[i] != slow.log[i] {
+			t.Fatalf("seed %d: logs diverge at %d: fast %q, slow %q",
+				seed, i, fast.log[i], slow.log[i])
+		}
+	}
+}
+
+// TestInlineWakeupDifferential runs many random workloads with the fast
+// path forced off and on and asserts bit-identical observation logs and
+// final engine state — the engine-level half of the "byte-identical
+// simulated metrics" guarantee.
+func TestInlineWakeupDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 150; seed++ {
+		fast := runDifferentialWorkload(t, seed, true)
+		slow := runDifferentialWorkload(t, seed, false)
+		diffObs(t, seed, fast, slow)
+	}
+}
+
+// FuzzInlineWakeupEquivalence lets the fuzzer hunt for a seed whose
+// workload behaves differently with the fast path on vs off.
+func FuzzInlineWakeupEquivalence(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(42))
+	f.Add(uint64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if seed == 0 {
+			seed = 1
+		}
+		fast := runDifferentialWorkload(t, seed, true)
+		slow := runDifferentialWorkload(t, seed, false)
+		diffObs(t, seed, fast, slow)
+	})
+}

@@ -133,6 +133,11 @@ func NewMachine(cfg Config) *Machine {
 // chargeAccess advances a by the cost of one reference to memory node to,
 // plus atomicExtra for read-modify-writes, plus any module queuing delay
 // when contention modelling is enabled.
+//
+// The module-reservation bookkeeping reads Now() before the Advance, so it
+// depends on the engine clock being exact at every instant — which the
+// inline self-wakeup fast path preserves: an in-place accrual moves now to
+// precisely the time the slow path's dispatch would have.
 func (m *Machine) chargeAccess(a Accessor, to int, atomicExtra Time) {
 	cost := m.AccessCost(a.Node(), to) + atomicExtra
 	m.accesses[to]++
