@@ -2,15 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare experiments clean
+.PHONY: all build vet fmt-check test race bench bench-compare experiments clean
 
-all: build vet test
+all: build vet fmt-check test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Formatting gate: fails (listing the offenders) if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -13,7 +13,9 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/cthreads"
 	"repro/internal/experiments"
+	"repro/internal/locks"
 	"repro/internal/sim"
 	"repro/internal/tsp"
 )
@@ -375,5 +377,60 @@ func BenchmarkAdaptiveBarrier(b *testing.B) {
 		b.ReportMetric(r.Adaptive.Millis(), "sim-ms-adaptive-"+metricName(r.Regime))
 		b.ReportMetric(r.Spin.Millis(), "sim-ms-spin-"+metricName(r.Regime))
 		b.ReportMetric(r.Sleep.Millis(), "sim-ms-sleep-"+metricName(r.Regime))
+	}
+}
+
+// BenchmarkLockContended measures the contended-acquire regime the
+// spin-batching fast path targets: waiters hammering one lock word on the
+// hot-spot machine (every futile probe costs module service). The
+// simulated completion time is the deterministic metric; ns/op shows how
+// cheaply the simulator now gets there.
+func BenchmarkLockContended(b *testing.B) {
+	builders := []struct {
+		name  string
+		build func(sys *cthreads.System) locks.Lock
+	}{
+		{"spin", func(sys *cthreads.System) locks.Lock {
+			return locks.NewSpinLock(sys, 0, "spin", locks.DefaultCosts())
+		}},
+		{"backoff", func(sys *cthreads.System) locks.Lock {
+			return locks.NewBackoffSpinLock(sys, 0, "backoff", locks.DefaultCosts())
+		}},
+		{"mcs", func(sys *cthreads.System) locks.Lock {
+			return locks.NewLocalSpinLock(sys, 0, "mcs", locks.DefaultCosts())
+		}},
+	}
+	for _, bl := range builders {
+		for _, waiters := range []int{2, 8, 32} {
+			b.Run(fmt.Sprintf("%s/w%d", bl.name, waiters), func(b *testing.B) {
+				var elapsed sim.Time
+				var spins uint64
+				for i := 0; i < b.N; i++ {
+					cfg := sim.HotSpotConfig()
+					cfg.Nodes = waiters
+					cfg.Seed = 1
+					sys := cthreads.New(cfg)
+					l := bl.build(sys)
+					for w := 0; w < waiters; w++ {
+						sys.Fork(w, fmt.Sprintf("w%d", w), func(th *cthreads.Thread) {
+							r := th.Rand()
+							for j := 0; j < 20; j++ {
+								l.Lock(th)
+								th.Advance(2 * sim.Microsecond)
+								l.Unlock(th)
+								th.Advance(sim.Time(r.Intn(2000)))
+							}
+						})
+					}
+					if err := sys.Run(); err != nil {
+						b.Fatal(err)
+					}
+					elapsed = sys.Now()
+					spins = l.Stats().SpinIters
+				}
+				b.ReportMetric(elapsed.Micros(), "sim-µs-elapsed")
+				b.ReportMetric(float64(spins), "sim-spin-iters")
+			})
+		}
 	}
 }

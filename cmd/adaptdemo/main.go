@@ -26,7 +26,9 @@ func main() {
 	procs := cli.ProcsFlag(flag.CommandLine, 8)
 	tf := cli.TraceFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
+	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ApplySpinBatch(*noSpinBatch)
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)

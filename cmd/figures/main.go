@@ -25,7 +25,9 @@ func main() {
 	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
 	jobs := cli.JobsFlag(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
+	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ApplySpinBatch(*noSpinBatch)
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)

@@ -37,7 +37,9 @@ func main() {
 	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
+	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ApplySpinBatch(*noSpinBatch)
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)

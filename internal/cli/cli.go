@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -169,6 +170,22 @@ func (p *Profile) Stop() error {
 		return err
 	}
 	return nil
+}
+
+// NoSpinBatchFlag registers the shared escape hatch for the engine's
+// contention-epoch spin batching. Pass the parsed value to
+// ApplySpinBatch before building any simulation.
+func NoSpinBatchFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("no-spin-batch", false,
+		"emulate every futile busy-wait probe per-iteration instead of batching them in the engine (slower wall clock; simulated results are identical)")
+}
+
+// ApplySpinBatch applies the parsed -no-spin-batch value to the process
+// default, so every engine the binary builds honors the flag.
+func ApplySpinBatch(noBatch bool) {
+	if noBatch {
+		sim.SetDefaultBatchedSpins(false)
+	}
 }
 
 // JobsFlag registers the shared sweep-parallelism flag. Independent

@@ -65,12 +65,13 @@ type Stats struct {
 
 // System is a thread package instance bound to one simulated machine.
 type System struct {
-	mach   *sim.Machine
-	eng    *sim.Engine
-	procs  []*Processor
-	all    []*Thread
-	stats  Stats
-	tracer *trace.Tracer
+	mach      *sim.Machine
+	eng       *sim.Engine
+	procs     []*Processor
+	all       []*Thread
+	stats     Stats
+	tracer    *trace.Tracer
+	exitHooks []func(*Thread)
 }
 
 // New creates a machine from cfg and a thread system on top of it, with one
@@ -134,6 +135,15 @@ func (s *System) traceThread(kind trace.Kind, t *Thread, name string, a int64) {
 		Proc: int32(t.proc.id), Thread: int32(t.id),
 		Name: name, A: a,
 	})
+}
+
+// OnThreadExit registers fn to run (in registration order) as each
+// thread finishes, after its joiners are woken. Hooks run in the exiting
+// thread's context and must not charge simulated time; they exist so
+// per-thread bookkeeping keyed on *Thread (e.g. a queue lock's qnode
+// records) can be released instead of retained for the run's lifetime.
+func (s *System) OnThreadExit(fn func(*Thread)) {
+	s.exitHooks = append(s.exitHooks, fn)
 }
 
 // Threads returns all threads ever forked, in fork order.

@@ -1,0 +1,195 @@
+package cthreads
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runSpinThreadWorkload executes a workload built around Thread.SpinUntil
+// under scheduling pressure: a solo spinner whose quantum keeps renewing,
+// spinners sharing a processor with compute threads (so slice exhaustion
+// preempts mid-spin), bounded warm-up spins, module contention on the
+// probed cells, and a spin-wait barrier phase.
+func runSpinThreadWorkload(t *testing.T, seed uint64, batched, inline bool) threadObs {
+	t.Helper()
+	cfg := sim.Config{
+		Nodes:         2,
+		Quantum:       60 * sim.Microsecond,
+		ModuleService: 300 * sim.Nanosecond,
+		Seed:          seed,
+	}
+	sys := New(cfg)
+	sys.Engine().SetBatchedSpins(batched)
+	sys.Engine().SetInlineWakeups(inline)
+	m := sys.Machine()
+	flags := []*sim.Cell{m.NewCell(0, "f0", 0), m.NewCell(1, "f1", 0)}
+	var obs threadObs
+	record := func(who string) {
+		obs.log = append(obs.log, fmt.Sprintf("%s@%d", who, sys.Now()))
+	}
+
+	// Phase 1+2 — spinners wait for producer stores. Spinner s0 runs alone
+	// on processor 1 (its slice renews at every boundary); spinner s1
+	// shares processor 0 with the producer and a compute thread, so its
+	// spin is cut by genuine preemptions.
+	spinOn := func(th *Thread, cell *sim.Cell, pause sim.Time) {
+		r := th.Rand()
+		pre := sim.SpinSpec{
+			ProbeCell: cell, ProbeAtomic: true,
+			Probe:     func() bool { return cell.Peek() != 0 },
+			PauseCost: func() sim.Time { return pause },
+			MaxIters:  int64(r.Intn(6)),
+		}
+		iters, ok := th.SpinUntil(&pre)
+		record(fmt.Sprintf("%s-pre-%d-%v", th.Name(), iters, ok))
+		if !ok {
+			spec := sim.SpinSpec{
+				ProbeCell: cell, ProbeAtomic: true,
+				Probe:     func() bool { return cell.Peek() != 0 },
+				PauseCost: func() sim.Time { return pause },
+				MaxIters:  sim.SpinUnbounded,
+			}
+			iters, _ = th.SpinUntil(&spec)
+			record(fmt.Sprintf("%s-spun-%d", th.Name(), iters))
+		}
+	}
+	sys.Fork(1, "s0", func(th *Thread) {
+		spinOn(th, flags[0], 700*sim.Nanosecond)
+		record("s0-done")
+	})
+	sys.Fork(0, "s1", func(th *Thread) {
+		spinOn(th, flags[1], 900*sim.Nanosecond)
+		record("s1-done")
+	})
+	sys.Fork(0, "crunch", func(th *Thread) {
+		// Pure computation sharing s1's processor: forces slice-boundary
+		// preemptions of the spin loop.
+		th.Advance(400 * sim.Microsecond)
+		record("crunch-done")
+	})
+	sys.Fork(0, "producer", func(th *Thread) {
+		th.Advance(300 * sim.Microsecond)
+		flags[0].Store(th, 1)
+		record("flag0-set")
+		th.Advance(200 * sim.Microsecond)
+		flags[1].Store(th, 1)
+		record("flag1-set")
+	})
+
+	// Phase 3 — a spin-wait barrier: parties arrive staggered and poll
+	// through the skew.
+	bar := sys.NewBarrier("bar", 3)
+	bar.SpinWait = 2 * sim.Microsecond
+	for i := 0; i < 3; i++ {
+		i := i
+		sys.Fork(i%cfg.Nodes, fmt.Sprintf("b%d", i), func(th *Thread) {
+			for round := 0; round < 3; round++ {
+				th.Advance(sim.Time(i+1) * sim.Time(round+1) * 40 * sim.Microsecond)
+				if bar.Arrive(th) {
+					record(fmt.Sprintf("b%d-tripped-r%d", i, round))
+				}
+			}
+			record(fmt.Sprintf("b%d-done", i))
+		})
+	}
+
+	if err := sys.Run(); err != nil {
+		t.Fatalf("seed %d batched=%v inline=%v: %v", seed, batched, inline, err)
+	}
+	obs.stats = sys.Stats()
+	obs.finalNow = sys.Now()
+	for _, th := range sys.Threads() {
+		obs.busy = append(obs.busy, th.Busy())
+		obs.blocked = append(obs.blocked, th.BlockedTime())
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		obs.queueDel = append(obs.queueDel, m.ModuleQueueDelay(n))
+	}
+	return obs
+}
+
+// TestSpinBatchingThreadDifferential holds the scheduler to the spin
+// batching contract: with batching on or off, inline wakeups on or off,
+// the workload's event log, scheduler statistics, per-thread accounting,
+// and module-contention delays are identical.
+func TestSpinBatchingThreadDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		ref := runSpinThreadWorkload(t, seed, false, true)
+		if ref.stats.Preemptions == 0 {
+			t.Fatalf("seed %d: workload never preempted; spin × quantum interplay untested", seed)
+		}
+		for _, mode := range []struct {
+			name            string
+			batched, inline bool
+		}{
+			{"batched+inline", true, true},
+			{"batched+noinline", true, false},
+			{"slow+noinline", false, false},
+		} {
+			got := runSpinThreadWorkload(t, seed, mode.batched, mode.inline)
+			if got.stats != ref.stats {
+				t.Fatalf("seed %d %s: stats diverge: got %+v, want %+v", seed, mode.name, got.stats, ref.stats)
+			}
+			if got.finalNow != ref.finalNow {
+				t.Fatalf("seed %d %s: final time %v, want %v", seed, mode.name, got.finalNow, ref.finalNow)
+			}
+			for i := range ref.busy {
+				if got.busy[i] != ref.busy[i] || got.blocked[i] != ref.blocked[i] {
+					t.Fatalf("seed %d %s: thread %d accounting (%v,%v), want (%v,%v)",
+						seed, mode.name, i, got.busy[i], got.blocked[i], ref.busy[i], ref.blocked[i])
+				}
+			}
+			for n := range ref.queueDel {
+				if got.queueDel[n] != ref.queueDel[n] {
+					t.Fatalf("seed %d %s: module %d queue delay %v, want %v",
+						seed, mode.name, n, got.queueDel[n], ref.queueDel[n])
+				}
+			}
+			if len(got.log) != len(ref.log) {
+				t.Fatalf("seed %d %s: log lengths %d, want %d", seed, mode.name, len(got.log), len(ref.log))
+			}
+			for i := range ref.log {
+				if got.log[i] != ref.log[i] {
+					t.Fatalf("seed %d %s: log[%d] = %q, want %q", seed, mode.name, i, got.log[i], ref.log[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSpinQuantumRenewalSolo pins the solo-spinner slice rule: a spinner
+// with an empty ready queue renews its slice at each boundary instead of
+// being preempted, so a long spin on an idle processor costs zero
+// preemptions and zero context switches beyond dispatch — batched or not.
+func TestSpinQuantumRenewalSolo(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		sys := New(sim.Config{Nodes: 2, Quantum: 50 * sim.Microsecond})
+		sys.Engine().SetBatchedSpins(batched)
+		flag := sys.Machine().NewCell(0, "flag", 0)
+		var iters int64
+		sys.Fork(1, "spinner", func(th *Thread) {
+			spec := sim.SpinSpec{
+				ProbeCell: flag,
+				Probe:     func() bool { return flag.Peek() != 0 },
+				PauseCost: func() sim.Time { return sim.Microsecond },
+				MaxIters:  sim.SpinUnbounded,
+			}
+			iters, _ = th.SpinUntil(&spec)
+		})
+		sys.Fork(0, "producer", func(th *Thread) {
+			th.Advance(2 * sim.Millisecond)
+			flag.Store(th, 1)
+		})
+		if err := sys.Run(); err != nil {
+			t.Fatalf("batched=%v: %v", batched, err)
+		}
+		if got := sys.Stats().Preemptions; got != 0 {
+			t.Errorf("batched=%v: solo spinner preempted %d times, want 0", batched, got)
+		}
+		if iters == 0 {
+			t.Errorf("batched=%v: spinner never spun", batched)
+		}
+	}
+}

@@ -158,9 +158,15 @@ func (b *Barrier) Arrive(t *Thread) (last bool) {
 		return true
 	}
 	if b.SpinWait > 0 {
-		for b.gen == gen {
-			t.Advance(b.SpinWait)
+		// The poll loop as a spin spec: an uncharged generation check,
+		// one SpinWait of computation per futile poll. Batched, the
+		// engine fast-forwards the polls between genuine trips.
+		spec := sim.SpinSpec{
+			Probe:     func() bool { return b.gen != gen },
+			PauseCost: func() sim.Time { return b.SpinWait },
+			MaxIters:  sim.SpinUnbounded,
 		}
+		t.SpinUntil(&spec)
 		return false
 	}
 	b.waiters = append(b.waiters, t)

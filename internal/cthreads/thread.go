@@ -101,38 +101,75 @@ func (t *Thread) Advance(d sim.Time) {
 	if d < 0 {
 		d = 0
 	}
-	q := t.sys.mach.Config().Quantum
-	if q <= 0 {
-		t.busy += d
-		t.proc.busy += d
-		t.coro.Sleep(d)
-		return
-	}
 	for {
-		step := d
-		if t.sliceLeft < step {
-			step = t.sliceLeft
-		}
-		t.busy += step
-		t.proc.busy += step
-		t.sliceLeft -= step
+		step, boundary := t.SpinAccrue(d)
 		d -= step
 		t.coro.Sleep(step)
-		if t.sliceLeft <= 0 {
-			if t.proc.QueueLen() > 0 {
-				t.sys.stats.Preemptions++
-				t.proc.enqueue(t)
-				t.proc.release()
-				t.coro.Park()
-				// sliceLeft was reset by dispatch.
-			} else {
-				t.sliceLeft = q
-			}
+		if boundary && t.SpinBoundary() {
+			t.coro.Park()
+			// sliceLeft was reset by dispatch.
 		}
 		if d <= 0 {
 			return
 		}
 	}
+}
+
+// SpinAccrue implements sim.SpinContext: book up to d of computation
+// (thread and processor busy time, timeslice consumption) and report the
+// booked step plus whether the timeslice expired at its end. Advance is
+// built on it, so the spin emulator and the ordinary accrual path can
+// never disagree. It is an engine callback, not for simulated code.
+func (t *Thread) SpinAccrue(d sim.Time) (step sim.Time, boundary bool) {
+	q := t.sys.mach.Config().Quantum
+	if q <= 0 {
+		t.busy += d
+		t.proc.busy += d
+		return d, false
+	}
+	step = d
+	if t.sliceLeft < step {
+		step = t.sliceLeft
+	}
+	t.busy += step
+	t.proc.busy += step
+	t.sliceLeft -= step
+	return step, t.sliceLeft <= 0
+}
+
+// SpinBoundary implements sim.SpinContext: handle an expired timeslice.
+// With other threads ready the thread is preempted to the back of the
+// ready queue (true — the caller must suspend until redispatch); alone
+// on its processor it just starts a fresh slice (false). It is an engine
+// callback, not for simulated code.
+func (t *Thread) SpinBoundary() (descheduled bool) {
+	if t.proc.QueueLen() > 0 {
+		t.sys.stats.Preemptions++
+		t.proc.enqueue(t)
+		t.proc.release()
+		return true
+	}
+	t.sliceLeft = t.sys.mach.Config().Quantum
+	return false
+}
+
+// SpinBudget implements sim.SpinContext: the computation left in the
+// current timeslice, or sim.MaxTime when preemption is off.
+func (t *Thread) SpinBudget() sim.Time {
+	if t.sys.mach.Config().Quantum <= 0 {
+		return sim.MaxTime
+	}
+	return t.sliceLeft
+}
+
+// SpinUntil runs the busy-wait loop described by spec on this thread —
+// see sim.SpinSpec for the loop shape and the contract its closures must
+// satisfy. It charges exactly what the open-coded loop would (probe
+// references, pauses, preemption at slice boundaries) while letting the
+// engine batch futile iterations; see Coro.SpinUntil.
+func (t *Thread) SpinUntil(spec *sim.SpinSpec) (iters int64, ok bool) {
+	t.mustBeRunning("SpinUntil")
+	return t.coro.SpinUntil(t, spec)
 }
 
 // Compute consumes the cost of n abstract instruction steps.
@@ -234,5 +271,8 @@ func (t *Thread) exit() {
 	t.joiners = nil
 	t.state = StateDone
 	t.sys.traceThread(trace.KindThreadDone, t, "", 0)
+	for _, fn := range t.sys.exitHooks {
+		fn(t)
+	}
 	t.proc.release()
 }

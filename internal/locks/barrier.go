@@ -125,6 +125,9 @@ func NewAdaptiveBarrier(sys *cthreads.System, name string, parties int, policy c
 // Object exposes the barrier's adaptive object.
 func (b *AdaptiveBarrier) Object() *core.Object { return b.obj }
 
+// pollPause is the spin-spec pause of the barrier's poll loop.
+func (b *AdaptiveBarrier) pollPause() sim.Time { return b.PollPause }
+
 // Stats reports trips, sleeps, and poll rounds.
 func (b *AdaptiveBarrier) Stats() (trips, blocks, polls uint64) {
 	return b.trips, b.blocks, b.polls
@@ -161,14 +164,23 @@ func (b *AdaptiveBarrier) Arrive(t *cthreads.Thread) bool {
 		return true
 	}
 
-	// Early arrival: poll per the current spin budget.
+	// Early arrival: poll per the current spin budget. As a spin spec
+	// the loop is an uncharged generation probe with one PollPause per
+	// futile poll, bounded by the budget; the engine batches the polls
+	// between trips.
 	budget := b.obj.Attrs.MustGet(BarrierAttrSpin)
-	for i := int64(0); i < budget; i++ {
-		b.polls++
-		t.Advance(b.PollPause)
-		if b.gen != gen {
-			return false
-		}
+	if budget < 0 {
+		budget = 0
+	}
+	spec := sim.SpinSpec{
+		Probe:     func() bool { return b.gen != gen },
+		PauseCost: b.pollPause,
+		MaxIters:  budget,
+	}
+	polls, tripped := t.SpinUntil(&spec)
+	b.polls += uint64(polls)
+	if tripped {
+		return false
 	}
 	// Budget exhausted: sleep until the trip.
 	w := &waiter{t: t, enqueued: t.Now()}

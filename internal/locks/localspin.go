@@ -29,16 +29,24 @@ type qnode struct {
 	t    *cthreads.Thread
 	wait *sim.Cell
 	next *qnode
+	// spin (the waiter's local poll of wait) and link (the releaser's
+	// wait for a mid-enqueue successor's next pointer) are the record's
+	// two busy-wait loops as specs, built once per qnode.
+	spin sim.SpinSpec
+	link sim.SpinSpec
 }
 
 // NewLocalSpinLock allocates an MCS-style queue lock whose tail word lives
-// on the given node.
+// on the given node. Queue records are released as their threads exit, so
+// a run that churns through short-lived threads does not accumulate one
+// qnode (and one simulated cell) per thread that ever touched the lock.
 func NewLocalSpinLock(sys *cthreads.System, node int, name string, costs Costs) *LocalSpinLock {
 	l := &LocalSpinLock{
 		base:  newBase(sys, node, name, costs),
 		nodes: make(map[*cthreads.Thread]*qnode),
 	}
 	l.tailCell = sys.Machine().NewCell(node, name+".tail", 0)
+	sys.OnThreadExit(func(t *cthreads.Thread) { delete(l.nodes, t) })
 	return l
 }
 
@@ -47,10 +55,25 @@ func (l *LocalSpinLock) qnodeFor(t *cthreads.Thread) *qnode {
 	qn, ok := l.nodes[t]
 	if !ok {
 		qn = &qnode{t: t, wait: l.sys.Machine().NewCell(t.Node(), l.name+".wait."+t.Name(), 0)}
+		qn.spin = sim.SpinSpec{
+			ProbeCell: qn.wait,
+			Probe:     func() bool { return qn.wait.Peek() == 0 },
+			PauseCost: l.spinPause,
+			MaxIters:  sim.SpinUnbounded,
+		}
+		qn.link = sim.SpinSpec{
+			Probe:     func() bool { return qn.next != nil },
+			PauseCost: l.spinPause,
+			MaxIters:  sim.SpinUnbounded,
+		}
 		l.nodes[t] = qn
 	}
 	return qn
 }
+
+// retained reports how many queue records the lock currently holds (for
+// the churn regression test).
+func (l *LocalSpinLock) retained() int { return len(l.nodes) }
 
 // Lock enqueues the caller's qnode with an atomic fetch-and-store on the
 // tail word, links behind the predecessor, and spins on its own local
@@ -75,12 +98,10 @@ func (l *LocalSpinLock) Lock(t *cthreads.Thread) {
 	// Link behind the predecessor: one reference to its node.
 	t.Advance(l.sys.Machine().AccessCost(t.Node(), pred.t.Node()))
 	pred.next = qn
-	// LOCAL spin: cheap probes of the waiter's own module, riding the
-	// engine's inline self-wakeup fast path between genuine handoffs.
-	for qn.wait.Load(t) != 0 {
-		l.stats.SpinIters++
-		t.Compute(l.costs.SpinPauseSteps)
-	}
+	// LOCAL spin: cheap probes of the waiter's own module; the engine
+	// batches the futile probes between genuine handoffs.
+	iters, _ := t.SpinUntil(&qn.spin)
+	l.stats.SpinIters += uint64(iters)
 	l.spinners--
 	l.acquired(t, start, true)
 }
@@ -100,10 +121,9 @@ func (l *LocalSpinLock) Unlock(t *cthreads.Thread) {
 			l.tail = nil
 			return
 		}
-		// A successor is mid-enqueue: wait for its link to appear.
-		for qn.next == nil {
-			t.Compute(l.costs.SpinPauseSteps)
-		}
+		// A successor is mid-enqueue: wait for its link to appear (an
+		// uncharged probe of plain state, one pause per futile check).
+		t.SpinUntil(&qn.link)
 	}
 	// Hand over: one write into the successor's local module.
 	next := qn.next

@@ -168,6 +168,21 @@ func (b *base) checkOwner(t *cthreads.Thread, op string) {
 	}
 }
 
+// tasProbe is the spin-spec probe shared by the test-and-set lock
+// family: the atomior's effect on the already-charged lock word. A
+// futile probe (word held) sets no new bits, satisfying the busy-wait
+// contract sim.SpinSpec requires.
+func (b *base) tasProbe() bool {
+	old := b.flag.Peek()
+	b.flag.Poke(old | 1)
+	return old == 0
+}
+
+// spinPause is the spin-spec pause shared by the fixed-pause spin loops.
+func (b *base) spinPause() sim.Time {
+	return b.sys.Machine().InstrCost(b.costs.SpinPauseSteps)
+}
+
 // chargeAccesses charges t the cost of n plain references to the lock's
 // home node.
 func (b *base) chargeAccesses(t *cthreads.Thread, n int) {

@@ -126,29 +126,50 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 	spin, delay, sleep, timeout := l.policy()
 	l.chargeAccesses(t, 1)
 	contended := false
-	attempt := int64(0)
 	l.spinners++
 	for {
-		if l.flag.AtomicOr(t, 1) == 0 {
+		// The spin phase as a spec: an atomior probe of the lock word,
+		// spin-time futile iterations (unbounded under a pure-spin
+		// policy), each pausing for the fixed spin pause plus the
+		// per-waiter backoff when delay-time is set. The pause closure
+		// reads the policy variables of this Lock call, so a policy
+		// re-read after a sleep takes effect on the next phase exactly as
+		// the open-coded loop's would.
+		maxIters := sim.SpinUnbounded
+		if sleep != 0 {
+			maxIters = spin
+			if maxIters < 0 {
+				maxIters = 0
+			}
+		}
+		spec := sim.SpinSpec{
+			ProbeCell:   l.flag,
+			ProbeAtomic: true,
+			Probe:       l.tasProbe,
+			PauseCost: func() sim.Time {
+				pause := l.sys.Machine().InstrCost(l.costs.SpinPauseSteps)
+				if delay > 0 {
+					waiting := l.waiting()
+					if waiting < 1 {
+						waiting = 1
+					}
+					pause += sim.Time(delay) * sim.Time(waiting)
+				}
+				return pause
+			},
+			MaxIters: maxIters,
+		}
+		iters, ok := t.SpinUntil(&spec)
+		l.stats.SpinIters += uint64(iters)
+		if iters > 0 {
+			contended = true
+		}
+		if ok {
 			l.spinners--
 			l.acquired(t, start, contended)
 			return
 		}
 		contended = true
-		if sleep == 0 || attempt < spin {
-			attempt++
-			l.stats.SpinIters++
-			pause := l.sys.Machine().InstrCost(l.costs.SpinPauseSteps)
-			if delay > 0 {
-				waiting := l.waiting()
-				if waiting < 1 {
-					waiting = 1
-				}
-				pause += sim.Time(delay) * sim.Time(waiting)
-			}
-			t.Advance(pause)
-			continue
-		}
 
 		// Spins exhausted and sleeping is enabled: register and sleep.
 		l.spinners--
@@ -182,7 +203,6 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 		t.Compute(l.costs.PostWakeSteps)
 		spin, delay, sleep, timeout = l.policy()
 		l.chargeAccesses(t, 1)
-		attempt = 0
 		l.spinners++
 	}
 }

@@ -10,30 +10,38 @@ import (
 // atomior's). Waiters occupy their processor until they win the word.
 type SpinLock struct {
 	base
+	// spin is the lock's busy-wait loop as a spec, built once so Lock
+	// allocates nothing: an atomior probe of the lock word, a fixed pause
+	// per futile iteration.
+	spin sim.SpinSpec
 }
 
 // NewSpinLock allocates a spin lock on the given node.
 func NewSpinLock(sys *cthreads.System, node int, name string, costs Costs) *SpinLock {
-	return &SpinLock{base: newBase(sys, node, name, costs)}
+	l := &SpinLock{base: newBase(sys, node, name, costs)}
+	l.spin = sim.SpinSpec{
+		ProbeCell:   l.flag,
+		ProbeAtomic: true,
+		Probe:       l.tasProbe,
+		PauseCost:   l.spinPause,
+		MaxIters:    sim.SpinUnbounded,
+	}
+	return l
 }
 
-// Lock busy-waits until acquisition. Each iteration charges a pause plus
-// an atomic probe; uncontended iterations accrue on the engine's inline
-// self-wakeup fast path, so a spin cycle costs no goroutine round-trips
-// unless another context's event is actually due first.
+// Lock busy-waits until acquisition via SpinUntil. Each iteration charges
+// a pause plus an atomic probe, exactly as the open-coded loop would;
+// batched, futile probe bursts between genuine handoffs are
+// fast-forwarded by the engine in one step.
 func (l *SpinLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.SpinLockSteps)
 	l.observe(t, l.spinners)
-	contended := false
 	l.spinners++
-	for l.flag.AtomicOr(t, 1) != 0 {
-		contended = true
-		l.stats.SpinIters++
-		t.Compute(l.costs.SpinPauseSteps)
-	}
+	iters, _ := t.SpinUntil(&l.spin)
+	l.stats.SpinIters += uint64(iters)
 	l.spinners--
-	l.acquired(t, start, contended)
+	l.acquired(t, start, iters > 0)
 }
 
 // Unlock clears the word; any spinner's next test-and-set wins.
@@ -51,14 +59,32 @@ func (l *SpinLock) Unlock(t *cthreads.Thread) {
 // already waiting before testing again.
 type BackoffSpinLock struct {
 	base
+	// spin covers the retest loop after the first backoff: an atomior
+	// probe, then a backoff pause proportional to the current spinners.
+	spin sim.SpinSpec
 }
 
 // NewBackoffSpinLock allocates a backoff spin lock on the given node.
 func NewBackoffSpinLock(sys *cthreads.System, node int, name string, costs Costs) *BackoffSpinLock {
-	return &BackoffSpinLock{base: newBase(sys, node, name, costs)}
+	l := &BackoffSpinLock{base: newBase(sys, node, name, costs)}
+	l.spin = sim.SpinSpec{
+		ProbeCell:   l.flag,
+		ProbeAtomic: true,
+		Probe:       l.tasProbe,
+		PauseCost:   l.backoffPause,
+		MaxIters:    sim.SpinUnbounded,
+	}
+	return l
 }
 
-// Lock tests once, then alternates proportional backoff with retests.
+// backoffPause is the proportional backoff charged after a futile retest.
+func (l *BackoffSpinLock) backoffPause() sim.Time {
+	return l.costs.BackoffUnit * sim.Time(l.spinners)
+}
+
+// Lock tests once, then alternates proportional backoff with retests. The
+// backoff loop pauses first, so the initial backoff is charged open-coded
+// and SpinUntil carries the retest-then-backoff tail.
 func (l *BackoffSpinLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.SpinLockSteps)
@@ -68,14 +94,10 @@ func (l *BackoffSpinLock) Lock(t *cthreads.Thread) {
 		return
 	}
 	l.spinners++
-	for {
-		l.stats.SpinIters++
-		backoff := l.costs.BackoffUnit * sim.Time(l.spinners)
-		t.Advance(backoff)
-		if l.flag.AtomicOr(t, 1) == 0 {
-			break
-		}
-	}
+	l.stats.SpinIters++
+	t.Advance(l.backoffPause())
+	iters, _ := t.SpinUntil(&l.spin)
+	l.stats.SpinIters += uint64(iters)
 	l.spinners--
 	l.acquired(t, start, true)
 }

@@ -1,35 +1,43 @@
 package locks
 
-import "repro/internal/cthreads"
+import (
+	"repro/internal/cthreads"
+	"repro/internal/sim"
+)
 
 // TASLock is the rawest lock: a bare atomior (test-and-set) loop with no
 // registration, no queue, and no policy — Table 4's "atomior" row. It is
 // the latency floor every other lock is measured against.
 type TASLock struct {
 	base
+	spin sim.SpinSpec
 }
 
 // NewTASLock allocates a raw test-and-set lock on the given node.
 func NewTASLock(sys *cthreads.System, node int, name string, costs Costs) *TASLock {
-	return &TASLock{base: newBase(sys, node, name, costs)}
+	l := &TASLock{base: newBase(sys, node, name, costs)}
+	l.spin = sim.SpinSpec{
+		ProbeCell:   l.flag,
+		ProbeAtomic: true,
+		Probe:       l.tasProbe,
+		PauseCost:   l.spinPause,
+		MaxIters:    sim.SpinUnbounded,
+	}
+	return l
 }
 
-// Lock spins on atomior until the word is clear. The probe loop is a
-// Sleep-per-iteration hot site: its charges ride the engine's inline
-// self-wakeup fast path whenever no other event is due first.
+// Lock spins on atomior until the word is clear. Contended probe bursts
+// are batched by the engine; uncontended acquisitions cost a single
+// inline-accrued probe, as before.
 func (l *TASLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.TASLockSteps)
 	l.observe(t, l.spinners)
-	contended := false
 	l.spinners++
-	for l.flag.AtomicOr(t, 1) != 0 {
-		contended = true
-		l.stats.SpinIters++
-		t.Compute(l.costs.SpinPauseSteps)
-	}
+	iters, _ := t.SpinUntil(&l.spin)
+	l.stats.SpinIters += uint64(iters)
 	l.spinners--
-	l.acquired(t, start, contended)
+	l.acquired(t, start, iters > 0)
 }
 
 // Unlock clears the word.

@@ -78,3 +78,39 @@ type coroAccessor struct{ c *Coro }
 
 func (a *coroAccessor) Node() int      { return 0 }
 func (a *coroAccessor) Advance(d Time) { a.c.Sleep(d) }
+
+// benchSpin runs one bounded busy-wait of b.N futile probes against a
+// flag nobody sets, with the contention-epoch fast path on or off.
+func benchSpin(b *testing.B, batched bool) {
+	b.ReportAllocs()
+	m := NewMachine(Config{Nodes: 1})
+	e := m.Engine()
+	e.SetBatchedSpins(batched)
+	cell := m.NewCell(0, "flag", 0)
+	a := &spinAccessor{}
+	c := e.Spawn("bench", func(c *Coro) {
+		a.c = c
+		spec := &SpinSpec{
+			ProbeCell: cell,
+			Probe:     func() bool { return cell.Peek() != 0 },
+			PauseCost: func() Time { return 100 * Nanosecond },
+			MaxIters:  int64(b.N),
+		}
+		c.SpinUntil(a, spec)
+	})
+	c.Start(0)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSpinBatched measures a futile probe with spin batching: after
+// the two-iteration steady-state proof, the engine commits the remaining
+// iterations in closed form, so per-iteration cost is near zero.
+func BenchmarkSpinBatched(b *testing.B) { benchSpin(b, true) }
+
+// BenchmarkSpinSlowPath measures the same loop per-iteration: one probe
+// charge and one pause per futile probe, the cost every spin paid before
+// batching existed.
+func BenchmarkSpinSlowPath(b *testing.B) { benchSpin(b, false) }

@@ -20,6 +20,11 @@ type Coro struct {
 	done    bool
 	killed  bool
 	parked  bool
+
+	// spin, when non-nil, is the suspended SpinUntil emulation this
+	// coro's events drive instead of resuming the goroutine (see
+	// Engine.fire and Coro.SpinUntil).
+	spin *spinState
 }
 
 // Spawn creates a Coro that will run fn. The coro does not execute until

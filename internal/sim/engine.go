@@ -124,6 +124,15 @@ type Engine struct {
 	// instead of parking it. The zero value keeps the fast path on; tests
 	// force it off to prove both paths produce identical histories.
 	noInline bool
+	// noBatch disables the batched-spin fast path (see Coro.SpinUntil and
+	// Engine.SetBatchedSpins): busy-wait loops then charge per iteration
+	// through the open-coded slow path.
+	noBatch bool
+	// spinFastForwards / spinBatchedIters count closed-form spin
+	// fast-forwards and the iterations they skipped (diagnostics; the
+	// differential suites use them to prove the fast path engaged).
+	spinFastForwards uint64
+	spinBatchedIters uint64
 	// limited/limit bound inline time advancement to RunFor's window, so a
 	// coro cannot run past the deadline the engine loop would stop at.
 	limited bool
@@ -137,8 +146,9 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
-		live:  make(map[*Coro]struct{}),
+		yield:   make(chan struct{}),
+		live:    make(map[*Coro]struct{}),
+		noBatch: noBatchDefault.Load(),
 	}
 }
 
@@ -219,9 +229,18 @@ func (e *Engine) afterCoro(d Time, c *Coro) {
 }
 
 // fire executes one popped event: a direct coro dispatch on the fast path,
-// otherwise the scheduled callback.
+// otherwise the scheduled callback. A coro suspended inside a spin
+// emulation (Coro.SpinUntil) is not resumed — the event advances its
+// state machine engine-side instead, and the goroutine wakes only when
+// the whole busy-wait loop completes.
 func (e *Engine) fire(ev *event) {
 	if ev.coro != nil {
+		if s := ev.coro.spin; s != nil && !ev.coro.killed {
+			if e.runSpin(s) {
+				e.dispatch(ev.coro)
+			}
+			return
+		}
 		e.dispatch(ev.coro)
 		return
 	}

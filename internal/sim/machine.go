@@ -139,7 +139,18 @@ func NewMachine(cfg Config) *Machine {
 // inline self-wakeup fast path preserves: an in-place accrual moves now to
 // precisely the time the slow path's dispatch would have.
 func (m *Machine) chargeAccess(a Accessor, to int, atomicExtra Time) {
-	cost := m.AccessCost(a.Node(), to) + atomicExtra
+	cost, _ := m.reserveAccess(a.Node(), to, atomicExtra)
+	a.Advance(cost)
+}
+
+// reserveAccess books one reference from node from to memory node to at
+// the current instant — access count, and module-queue reservation when
+// contention modelling is on — and returns the reference's total latency
+// along with its queueing component. The caller must then advance the
+// accessor by cost; chargeAccess does both, the spin emulator advances
+// through its own boundary-aware accrual instead.
+func (m *Machine) reserveAccess(from, to int, atomicExtra Time) (cost, delay Time) {
+	cost = m.AccessCost(from, to) + atomicExtra
 	m.accesses[to]++
 	if svc := m.cfg.ModuleService; svc > 0 {
 		now := m.eng.Now()
@@ -148,11 +159,11 @@ func (m *Machine) chargeAccess(a Accessor, to int, atomicExtra Time) {
 			start = now
 		}
 		m.moduleFree[to] = start + svc
-		delay := start - now
+		delay = start - now
 		m.queueDelay[to] += delay
 		cost += delay
 	}
-	a.Advance(cost)
+	return cost, delay
 }
 
 // ModuleQueueDelay reports the accumulated contention delay at a node's

@@ -36,6 +36,10 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
+// MaxTime is the largest representable instant; it serves as the "no
+// bound" sentinel for SpinContext.SpinBudget.
+const MaxTime = Time(1<<63 - 1)
+
 // Micros returns the time expressed in microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 

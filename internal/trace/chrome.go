@@ -196,9 +196,9 @@ func writeChrome(w io.Writer, events []Event) error {
 		state string
 		since sim.Time
 	}
-	threadOpen := map[int32]*open{}       // current thread-state span
-	waitOpen := map[int32]Event{}         // thread → outstanding lock request
-	holdOpen := map[string]Event{}        // lock → outstanding acquisition
+	threadOpen := map[int32]*open{} // current thread-state span
+	waitOpen := map[int32]Event{}   // thread → outstanding lock request
+	holdOpen := map[string]Event{}  // lock → outstanding acquisition
 	closeState := func(tid int32, at sim.Time) {
 		o := threadOpen[tid]
 		if o == nil || o.state == "" {

@@ -9,8 +9,8 @@ import (
 // WriteText renders the recorded events as a plain-text log, one line per
 // event:
 //
-//	        time  proc thread  kind          subject  details
-//	  40.79µs     p0   t3      lock-acquire  qlock    wait=613ns contended
+//	      time  proc thread  kind          subject  details
+//	40.79µs     p0   t3      lock-acquire  qlock    wait=613ns contended
 //
 // Like WriteChrome, the output is byte-identical across same-seed runs.
 func (tr *Tracer) WriteText(w io.Writer) error {
