@@ -2,15 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-compare experiments clean
+.PHONY: all build vet lint fmt-check test race bench bench-compare experiments clean
 
-all: build vet fmt-check test
+all: build vet lint fmt-check test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Simlint: the repo's own static-analysis suite (internal/analysis),
+# run through the standard vet driver so package loading, caching, and
+# diagnostics all come from the toolchain. See DESIGN.md "Statically
+# enforced invariants".
+lint:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	$(GO) vet -vettool=bin/simlint ./...
 
 # Formatting gate: fails (listing the offenders) if any file needs gofmt.
 fmt-check:

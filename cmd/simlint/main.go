@@ -1,0 +1,80 @@
+// Command simlint runs the simulator's static-analysis suite
+// (internal/analysis): walltime, rawspin, maporder, virtualtime, and
+// seqadvance. It speaks the `go vet -vettool` protocol, so the full
+// toolchain integration is
+//
+//	go build -o bin/simlint ./cmd/simlint
+//	go vet -vettool=bin/simlint ./...
+//
+// (what `make lint` runs), and it also works standalone:
+//
+//	simlint ./...                # analyze packages in the current module
+//
+// Findings are suppressed — with a mandatory reason — by a comment on
+// the offending line or the line directly above it:
+//
+//	//simlint:allow <analyzer> -- <reason>
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// `go vet` interrogates the tool's flag set before use; simlint
+	// takes no analyzer flags.
+	for _, a := range args {
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+		if a == "-V=full" || a == "--V=full" {
+			// Tool-identity protocol: name and a build stamp.
+			fmt.Println("simlint version simlint-1")
+			return
+		}
+	}
+
+	// `go vet -vettool` invokes the tool with a single *.cfg argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns))
+}
+
+func runStandalone(patterns []string) int {
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := framework.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, framework.Format(pkg.Fset, d))
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}

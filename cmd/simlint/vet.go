@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when driving a vet tool (see buildVetConfig in
+// cmd/go/internal/work/exec.go). Fields simlint does not consult are
+// omitted; unknown JSON fields are ignored by encoding/json.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet implements the go vet tool protocol for one package: read the
+// config, write the (empty — simlint exports no facts) vetx output so
+// cmd/go can cache the run, analyze, and report diagnostics on stderr.
+// Exit status 0 means clean; non-zero makes `go vet` fail.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("simlint\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Only this module's packages are in scope; dependency and standard
+	// library packages vetted for completeness are trivially clean.
+	path := framework.CleanPath(cfg.ImportPath)
+	if cfg.Standard[path] || (cfg.ModulePath != "" && !inModule(path, cfg.ModulePath)) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := framework.NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := framework.Check(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	diags, err := framework.RunAnalyzers(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, framework.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func inModule(path, module string) bool {
+	return path == module || strings.HasPrefix(path, module+"/")
+}

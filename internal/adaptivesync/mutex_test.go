@@ -104,6 +104,19 @@ func TestOverloadAdaptsTowardBlocking(t *testing.T) {
 	// A policy with threshold 0 is impossible (waiting==0 means pure
 	// spin), so use threshold 1 and force ≥ 2 steady waiters.
 	m := New(core.SimpleAdapt{SpinAttr: AttrSpin, WaitingThreshold: 1, Step: 8, MaxSpin: DefaultMaxSpin})
+
+	// Observe the adaptation directly instead of polling SpinTime on the
+	// wall clock: the monitor applies decisions through Object.Apply, so
+	// the hook fires the moment spin-time first reaches 0. Registered
+	// before any contention starts so the transition cannot be missed.
+	reachedZero := make(chan struct{})
+	var once sync.Once
+	m.Object().OnApply(func(d core.Decision, _ core.OwnerID, err error) {
+		if err == nil && d.Attr == AttrSpin && d.Value == 0 {
+			once.Do(func() { close(reachedZero) })
+		}
+	})
+
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -122,14 +135,11 @@ func TestOverloadAdaptsTowardBlocking(t *testing.T) {
 			}
 		}()
 	}
-	sawZero := false
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if m.SpinTime() == 0 {
-			sawZero = true
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
+	sawZero := true
+	select {
+	case <-reachedZero:
+	case <-time.After(30 * time.Second): // hard timeout: fail, don't hang
+		sawZero = false
 	}
 	close(stop)
 	wg.Wait()

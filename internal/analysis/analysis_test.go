@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/framework/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", "walltime/sim", Walltime)
+	analysistest.Run(t, "testdata", "walltime/notsim", Walltime)
+}
+
+func TestRawspin(t *testing.T) {
+	analysistest.Run(t, "testdata", "rawspin/sim", Rawspin)
+	analysistest.Run(t, "testdata", "rawspin/notsim", Rawspin)
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", "maporder/a", Maporder)
+}
+
+func TestVirtualtime(t *testing.T) {
+	analysistest.Run(t, "testdata", "virtualtime/sim", Virtualtime)
+}
+
+func TestSeqadvance(t *testing.T) {
+	analysistest.Run(t, "testdata", "seqadvance/sim", Seqadvance)
+}
+
+// TestSimlintClean runs the full suite over the module the way
+// `go vet -vettool=bin/simlint ./...` does: the tree must stay clean,
+// and every suppression must be well-formed (malformed directives are
+// diagnostics themselves).
+func TestSimlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	pkgs, err := framework.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := framework.RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", framework.Format(pkg.Fset, d))
+		}
+	}
+}

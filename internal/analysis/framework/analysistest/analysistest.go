@@ -1,0 +1,183 @@
+// Package analysistest runs framework analyzers over fixture packages
+// under a testdata/src tree and checks the resulting diagnostics
+// against // want expectations, mirroring the x/tools analysistest
+// surface at the scale simlint needs. Fixture imports resolve from the
+// same tree, so fixtures carry their own stdlib stubs (testdata/src/time,
+// sync, sort, math/rand) and the tests run fully offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// Run loads testdata/src/<pkgpath>, applies the analyzers through
+// framework.RunAnalyzers (so //simlint:allow directives behave exactly
+// as in production), and compares the surviving diagnostics with the
+// fixture's // want expectations.
+//
+// An expectation is one or more quoted or backquoted regular
+// expressions following "// want" in any comment; it matches a
+// diagnostic reported on the same line:
+//
+//	_ = time.Now() // want `time.Now in simulated package`
+//
+// Every diagnostic must be matched by an expectation and every
+// expectation must match exactly one diagnostic.
+func Run(t *testing.T, testdata, pkgpath string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	dir := filepath.Join(root, pkgpath)
+	files, err := fixtureFiles(dir, true)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+
+	fset := token.NewFileSet()
+	imp := &srcImporter{fset: fset, root: root, pkgs: make(map[string]*types.Package)}
+	pkg, err := framework.Check(fset, pkgpath, dir, files, imp)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+
+	diags, err := framework.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+
+	wants := parseWants(t, fset, pkg.Files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a regexp that must match a diagnostic
+// message reported at file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// parseWants extracts every // want expectation from the files.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	const marker = "// want "
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, marker)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				spec := strings.TrimSpace(c.Text[idx+len(marker):])
+				if spec == "" || (spec[0] != '"' && spec[0] != '`') {
+					continue // prose that merely mentions "want"
+				}
+				for spec != "" {
+					q, err := strconv.QuotedPrefix(spec)
+					if err != nil {
+						t.Fatalf("%s: malformed // want expectation %q: %v", pos, spec, err)
+					}
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed // want string %q: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad // want regexp %q: %v", pos, s, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					spec = strings.TrimSpace(spec[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureFiles lists the .go files of a fixture directory, sorted for
+// determinism. Test files are included only for the target package
+// (the analyzers' test-file exemption is itself under test).
+func fixtureFiles(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// srcImporter resolves fixture imports from source under root, so a
+// fixture import of "time" or "virtualtime/cthreads" loads the stub
+// package at that path in the testdata tree.
+type srcImporter struct {
+	fset *token.FileSet
+	root string
+	pkgs map[string]*types.Package
+}
+
+func (si *srcImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(si.root, path)
+	files, err := fixtureFiles(dir, false)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %v", path, err)
+	}
+	pkg, err := framework.Check(si.fset, path, dir, files, si)
+	if err != nil {
+		return nil, err
+	}
+	si.pkgs[path] = pkg.Types
+	return pkg.Types, nil
+}

@@ -1,0 +1,237 @@
+// Package framework is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface the simlint suite needs:
+// an Analyzer runs over one type-checked package (a Pass) and reports
+// position-anchored Diagnostics. The module vendors no third-party
+// code, so the standard x/tools framework is unavailable; this package
+// keeps the same shape (Analyzer{Name, Doc, Run}, Pass.Reportf) so the
+// analyzers port mechanically if the dependency ever becomes available.
+//
+// On top of the x/tools shape it adds the one policy simlint needs
+// globally: the //simlint:allow suppression directive, applied
+// uniformly by RunAnalyzers so individual analyzers never see it.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the input to one Analyzer.Run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path with any test-variant suffix
+	// (e.g. " [repro/internal/sim.test]") stripped.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the canonical import path ("repro/internal/sim"); test
+	// variants keep their bracket suffix here but analyzers see the
+	// stripped Pass.Path.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// DirectiveName is the analyzer name diagnostics about malformed
+// //simlint:allow directives are attributed to.
+const DirectiveName = "simlint"
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//simlint:allow <analyzer> -- <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The reason is mandatory.
+const directivePrefix = "//simlint:allow"
+
+// directive is one parsed //simlint:allow comment.
+type directive struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// parseDirectives extracts every simlint directive in f.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var ds []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //simlint:allowed — not ours
+			}
+			rest = strings.TrimSpace(rest)
+			// A second "//" introduces a trailing note that is not part
+			// of the directive (fixtures put // want expectations there).
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			}
+			name, reason := rest, ""
+			if i := strings.Index(rest, "--"); i >= 0 {
+				name = strings.TrimSpace(rest[:i])
+				reason = strings.TrimSpace(rest[i+2:])
+			}
+			ds = append(ds, directive{
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: name,
+				reason:   reason,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return ds
+}
+
+// RunAnalyzers applies every analyzer to pkg and returns the surviving
+// diagnostics: findings covered by a well-formed //simlint:allow
+// directive (same line or the line immediately above, naming the
+// analyzer, with a non-empty reason) are dropped, and malformed
+// directives — a missing reason, or a name that matches no analyzer —
+// are themselves reported under the "simlint" name. Diagnostics are
+// returned in file/position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      CleanPath(pkg.Path),
+			diags:     &diags,
+		}
+		if err := pass.Analyzer.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	// Index directives by file and line.
+	type key struct {
+		file string
+		line int
+	}
+	allow := make(map[key]map[string]bool)
+	var kept []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range parseDirectives(pkg.Fset, f) {
+			file := pkg.Fset.Position(d.pos).Filename
+			switch {
+			case !known[d.analyzer]:
+				kept = append(kept, Diagnostic{Pos: d.pos, Analyzer: DirectiveName,
+					Message: fmt.Sprintf("//simlint:allow names unknown analyzer %q", d.analyzer)})
+			case d.reason == "":
+				kept = append(kept, Diagnostic{Pos: d.pos, Analyzer: DirectiveName,
+					Message: fmt.Sprintf("//simlint:allow %s is missing its mandatory reason (\"-- <why>\")", d.analyzer)})
+			default:
+				k := key{file, d.line}
+				if allow[k] == nil {
+					allow[k] = make(map[string]bool)
+				}
+				allow[k][d.analyzer] = true
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if allow[key{p.Filename, p.Line}][d.Analyzer] ||
+			allow[key{p.Filename, p.Line - 1}][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// CleanPath strips a go list test-variant suffix ("pkg [pkg.test]")
+// from an import path.
+func CleanPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// PathBase returns the last element of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Format renders a diagnostic the way go vet does.
+func Format(fset *token.FileSet, d Diagnostic) string {
+	return fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+}

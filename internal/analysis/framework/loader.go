@@ -1,0 +1,159 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -deps -export -json patterns...` in dir and
+// type-checks every matched (non-dependency) package from source,
+// resolving imports through the compiler export data go list produces.
+// It needs the go command but no network: export data is built from the
+// local module and the local toolchain's standard library.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	base := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			// No cgo in this module; refuse rather than mis-typecheck.
+			return nil, fmt.Errorf("%s: cgo packages are not supported by simlint", t.ImportPath)
+		}
+		pkg, err := Check(fset, t.ImportPath, t.Dir, t.GoFiles, &mappedImporter{base: base, m: t.ImportMap})
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check parses files (absolute paths, or relative to dir) and
+// type-checks them as one package with the given importer, returning a
+// Package ready for RunAnalyzers.
+func Check(fset *token.FileSet, path, dir string, files []string, imp types.Importer) (*Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		fn := name
+		if !strings.HasPrefix(fn, "/") && dir != "" {
+			fn = dir + "/" + fn
+		}
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// NewImporter returns an importer that resolves packages from compiler
+// export data files (canonical import path → file), applying the
+// source-import → canonical-path map first. Either map may be nil.
+func NewImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	return &mappedImporter{base: newExportImporter(fset, exports), m: importMap}
+}
+
+// newExportImporter returns an importer that resolves packages from the
+// compiler export data files in exports (import path → file).
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// mappedImporter applies a package's go list ImportMap (source import
+// path → canonical path) before delegating; identity entries are
+// omitted by go list, so a miss means the path is already canonical.
+type mappedImporter struct {
+	base types.ImporterFrom
+	m    map[string]string
+}
+
+func (mi *mappedImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := mi.m[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return mi.base.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Maporder flags `range` statements over maps whose body observably
+// depends on iteration order: appending to an outer slice that is never
+// sorted afterwards, assigning to outer variables, sends, or
+// statement-position calls (which may emit events or mutate engine and
+// metric state). Go randomizes map iteration order per run, so any such
+// loop breaks byte-identical replays. Order-independent bodies stay
+// legal: writes keyed by the loop variables (out[k] = v), commutative
+// integer accumulation (n++, sum += v), and the collect-keys-then-sort
+// idiom (append to a slice that is passed to sort/slices before use).
+// Test files are exempt.
+var Maporder = &framework.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body depends on iteration order",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pass.TypesInfo.TypeOf(rng.X); t == nil {
+					return true
+				} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd.Body, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// mapRangeOp is one order-dependent operation found in a map-range body.
+type mapRangeOp struct {
+	pos     token.Pos
+	what    string
+	collect types.Object // non-nil: append to this outer slice (sortable)
+}
+
+func checkMapRange(pass *framework.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				loopVars[obj] = true // `k, v = range m` over pre-declared vars
+			}
+		}
+	}
+
+	insideLoop := func(obj types.Object) bool {
+		return obj != nil && rng.Pos() <= obj.Pos() && obj.Pos() < rng.End()
+	}
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// baseObj resolves the leftmost identifier of an lvalue/receiver
+	// chain (x in x.f[i].g).
+	var baseObj func(e ast.Expr) types.Object
+	baseObj = func(e ast.Expr) types.Object {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[e]; o != nil {
+				return o
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			return baseObj(e.X)
+		case *ast.IndexExpr:
+			return baseObj(e.X)
+		case *ast.StarExpr:
+			return baseObj(e.X)
+		}
+		return nil
+	}
+	isInteger := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+
+	var ops []mapRangeOp
+	addOp := func(pos token.Pos, what string) { ops = append(ops, mapRangeOp{pos: pos, what: what}) }
+
+	checkAssignTarget := func(lhs ast.Expr, tok token.Token, rhs ast.Expr) {
+		lhs = ast.Unparen(lhs)
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		if usesLoopVar(lhs) {
+			return // keyed write: out[k] = v lands on the same key either way
+		}
+		obj := baseObj(lhs)
+		if obj == nil || insideLoop(obj) {
+			return // iteration-local state
+		}
+		switch tok {
+		case token.ASSIGN, token.DEFINE:
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if tgt, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.Uses[tgt] == obj {
+						ops = append(ops, mapRangeOp{pos: lhs.Pos(), what: "append to outer slice", collect: obj})
+						return
+					}
+				}
+			}
+			addOp(lhs.Pos(), "assignment to outer "+obj.Name())
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+			token.XOR_ASSIGN, token.MUL_ASSIGN:
+			if !isInteger(lhs) {
+				addOp(lhs.Pos(), "non-integer accumulation into outer "+obj.Name())
+			}
+		default:
+			addOp(lhs.Pos(), "update of outer "+obj.Name())
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng {
+				if t := info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false // nested map range is reported on its own
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				checkAssignTarget(lhs, n.Tok, rhs)
+			}
+		case *ast.IncDecStmt:
+			if usesLoopVar(n.X) {
+				return true
+			}
+			obj := baseObj(n.X)
+			if obj == nil || insideLoop(obj) {
+				return true
+			}
+			if !isInteger(n.X) {
+				addOp(n.Pos(), "non-integer ++/-- on outer "+obj.Name())
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+				// delete(m, k) of the current key from the ranged map is the
+				// sanctioned self-clearing idiom.
+				if usesLoopVar(call.Args[1]) {
+					return true
+				}
+			}
+			if recv := baseObj(call.Fun); recv != nil && insideLoop(recv) {
+				return true // call on iteration-local state
+			}
+			addOp(n.Pos(), "side-effecting call "+calleeName(call))
+		case *ast.SendStmt:
+			addOp(n.Pos(), "channel send")
+		case *ast.GoStmt:
+			addOp(n.Pos(), "goroutine launch")
+		case *ast.DeferStmt:
+			addOp(n.Pos(), "defer")
+		}
+		return true
+	})
+
+	if len(ops) == 0 {
+		return
+	}
+
+	// Collect-then-sort exemption: every order-dependent op is an append
+	// to an outer slice, and each such slice is passed to sort/slices
+	// after the loop.
+	allCollect := true
+	targets := make(map[types.Object]bool)
+	for _, op := range ops {
+		if op.collect == nil {
+			allCollect = false
+			break
+		}
+		targets[op.collect] = true
+	}
+	if allCollect {
+		sorted := make(map[types.Object]bool)
+		ast.Inspect(funcBody, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < rng.End() {
+				return true
+			}
+			fn := pkgFuncObj(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if o := baseObj(arg); o != nil && targets[o] {
+					sorted[o] = true
+				}
+			}
+			return true
+		})
+		// sorted only ever gains keys from targets, so equal sizes means
+		// every collected slice is sorted after the loop.
+		if len(sorted) == len(targets) {
+			return
+		}
+	}
+
+	pass.Reportf(rng.For,
+		"map iteration with order-dependent body (%s): collect and sort the keys first so runs replay byte-identically", ops[0].what)
+}

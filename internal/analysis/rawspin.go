@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/framework"
+)
+
+// rawspinPolls are call names that read (or read-modify-write) shared
+// simulated or atomic state: a loop re-evaluating one of these is
+// polling. Probe covers sim.SpinSpec-style predicate closures.
+var rawspinPolls = map[string]bool{
+	"Load":           true,
+	"Peek":           true,
+	"AtomicOr":       true,
+	"AtomicAdd":      true,
+	"CompareAndSwap": true,
+	"Swap":           true,
+	"Probe":          true,
+}
+
+// rawspinPauses are call names that burn time between probes — the
+// tell-tale busy-wait pause.
+var rawspinPauses = map[string]bool{
+	"Advance": true,
+	"Sleep":   true,
+	"Compute": true,
+	"Gosched": true,
+}
+
+// rawspinSanctioned are the batched-spin entry points: a loop that
+// routes its waiting through them is already visible to the spin
+// accounting and is not a raw busy-wait.
+var rawspinSanctioned = map[string]bool{
+	"SpinUntil":    true,
+	"SpinAccrue":   true,
+	"SpinBoundary": true,
+}
+
+// Rawspin flags for-loops in simulated packages that busy-wait by hand:
+// polling a sim.Cell / atomic / probe inside the loop with an explicit
+// pause, instead of describing the loop as a sim.SpinSpec and running
+// it through Coro.SpinUntil / Thread.SpinUntil. Hand-rolled busy-waits
+// bypass the batched-spin accounting (SpinIters, futile-probe charges)
+// and silently disable the contention-epoch fast-forward, so new ones
+// must not appear. Test files are exempt.
+var Rawspin = &framework.Analyzer{
+	Name: "rawspin",
+	Doc:  "flag hand-rolled busy-wait loops that bypass Coro.SpinUntil spin batching",
+	Run:  runRawspin,
+}
+
+func runRawspin(pass *framework.Pass) error {
+	if !simulatedPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkRawspinLoop(pass, loop)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRawspinLoop classifies the calls made directly by one for-loop.
+// Nested loops and function literals are excluded — they are separate
+// contexts and any busy-wait inside them is reported on its own.
+func checkRawspinLoop(pass *framework.Pass, loop *ast.ForStmt) {
+	var polls, pauses, sanctioned bool
+	scan := func(root ast.Node, top ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n != top {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+					return false
+				}
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch {
+			case rawspinSanctioned[name]:
+				sanctioned = true
+			case rawspinPolls[name]:
+				polls = true
+			case rawspinPauses[name]:
+				pauses = true
+			}
+			return true
+		})
+	}
+	if loop.Cond != nil {
+		scan(loop.Cond, loop.Cond)
+	}
+	scan(loop.Body, loop.Body)
+	if polls && pauses && !sanctioned {
+		pass.Reportf(loop.For,
+			"hand-rolled busy-wait: loop polls shared state with an explicit pause; express it as a sim.SpinSpec and run it through Coro.SpinUntil/Thread.SpinUntil so spin batching accounts for it")
+	}
+}

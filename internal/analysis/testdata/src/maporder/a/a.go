@@ -1,0 +1,118 @@
+// Package a is a maporder fixture. The analyzer is not gated on the
+// simulated-package set, so any path works.
+package a
+
+import "sort"
+
+// keysSorted is the sanctioned collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// valsSlice sorts via sort.Slice; still the sanctioned idiom.
+func valsSlice(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// badAppend collects but never sorts: element order leaks out.
+func badAppend(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `order-dependent body`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sum is commutative integer accumulation: order-independent.
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// count is order-independent too.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// keyed writes land on the same key whatever the order.
+func keyed(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// clearAll deletes the current key: the sanctioned self-clearing idiom.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// badLast publishes whichever key iterates last.
+func badLast(m map[string]int) string {
+	last := ""
+	for k := range m { // want `order-dependent body`
+		last = k
+	}
+	return last
+}
+
+// badConcat accumulates a string: concatenation is order-dependent.
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `order-dependent body`
+		s += k
+	}
+	return s
+}
+
+var sink []string
+
+func record(k string) { sink = append(sink, k) }
+
+// badCall emits side effects in iteration order.
+func badCall(m map[string]int) {
+	for k := range m { // want `order-dependent body`
+		record(k)
+	}
+}
+
+// localOnly mutates iteration-local state plus an integer accumulator:
+// order-independent.
+func localOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		w := v * v
+		if w > 10 {
+			w = 10
+		}
+		n += w
+	}
+	return n
+}
+
+func allowed(m map[string]int) string {
+	last := ""
+	//simlint:allow maporder -- fixture: a justified suppression is honored
+	for k := range m {
+		last = k
+	}
+	return last
+}

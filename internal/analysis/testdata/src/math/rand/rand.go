@@ -1,0 +1,5 @@
+// Package rand is a fixture stub of math/rand; the walltime analyzer
+// flags its import, so only a token surface is needed.
+package rand
+
+func Intn(n int) int { return 0 }

@@ -1,0 +1,17 @@
+// Package notsim is outside the simulated-package set: busy-wait
+// shapes here are not simlint's business.
+package notsim
+
+type Cell struct{ v int64 }
+
+func (c *Cell) Load() int64 { return c.v }
+
+type Ctx struct{}
+
+func (x *Ctx) Advance(n int64) {}
+
+func freeSpin(c *Cell, x *Ctx) {
+	for c.Load() == 0 {
+		x.Advance(1)
+	}
+}

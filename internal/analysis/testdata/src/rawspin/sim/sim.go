@@ -1,0 +1,74 @@
+// Package sim is a rawspin fixture with stand-ins for the simulated
+// cell and spin-context surfaces the analyzer keys on.
+package sim
+
+// Cell mimics sim.Cell's polling surface.
+type Cell struct{ v int64 }
+
+func (c *Cell) Load() int64 { return c.v }
+func (c *Cell) AtomicOr(v int64) int64 {
+	old := c.v
+	c.v |= v
+	return old
+}
+
+// Ctx mimics a spin context (Coro / Thread).
+type Ctx struct{}
+
+func (x *Ctx) Advance(n int64)              {}
+func (x *Ctx) Compute(n int64)              {}
+func (x *Ctx) SpinUntil(probe func() bool)  {}
+func (x *Ctx) SpinAccrue(iters, cost int64) {}
+
+func condPoll(c *Cell, x *Ctx) {
+	for c.Load() == 0 { // want `hand-rolled busy-wait`
+		x.Advance(1)
+	}
+}
+
+func bodyPoll(c *Cell, x *Ctx) {
+	for { // want `hand-rolled busy-wait`
+		if c.AtomicOr(1) == 0 {
+			return
+		}
+		x.Compute(3)
+	}
+}
+
+// sanctioned: the loop routes its waiting through a batched-spin entry
+// point, so the spin accounting already sees it.
+func sanctioned(c *Cell, x *Ctx) {
+	for c.Load() == 0 {
+		x.SpinUntil(func() bool { return c.Load() != 0 })
+		x.Advance(1)
+	}
+}
+
+// pollOnly never pauses: not the busy-wait shape this analyzer flags.
+func pollOnly(c *Cell) int64 {
+	var last int64
+	for last = c.Load(); last == 0; last = c.Load() {
+		last++
+	}
+	return last
+}
+
+// nested: the inner busy-wait is reported on its own; the outer loop
+// only sees an opaque call and stays clean.
+func nested(c *Cell, x *Ctx) {
+	for i := 0; i < 3; i++ {
+		fn := func() {
+			for c.Load() == 0 { // want `hand-rolled busy-wait`
+				x.Advance(1)
+			}
+		}
+		fn()
+	}
+}
+
+func allowed(c *Cell, x *Ctx) {
+	//simlint:allow rawspin -- fixture: a justified suppression is honored
+	for c.Load() == 0 {
+		x.Advance(1)
+	}
+}

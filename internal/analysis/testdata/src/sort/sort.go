@@ -1,0 +1,8 @@
+// Package sort is a fixture stub: the maporder analyzer recognizes the
+// collect-then-sort idiom by calls into package "sort", so the stub
+// only needs the function names.
+package sort
+
+func Ints(x []int)                          {}
+func Strings(x []string)                    {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,26 @@
+// Package time is a fixture stub: just enough of the real package's
+// surface for the walltime analyzer to resolve time.* references
+// without the standard library (analyzer tests run fully offline).
+package time
+
+type Duration int64
+
+type Time struct{}
+
+func (t Time) Add(d Duration) Time { return t }
+
+func Now() Time                    { return Time{} }
+func Since(t Time) Duration        { return 0 }
+func Until(t Time) Duration        { return 0 }
+func Sleep(d Duration)             {}
+func After(d Duration) <-chan Time { return nil }
+func Tick(d Duration) <-chan Time  { return nil }
+
+type Timer struct{ C <-chan Time }
+
+func NewTimer(d Duration) *Timer            { return &Timer{} }
+func AfterFunc(d Duration, f func()) *Timer { return &Timer{} }
+
+type Ticker struct{ C <-chan Time }
+
+func NewTicker(d Duration) *Ticker { return &Ticker{} }

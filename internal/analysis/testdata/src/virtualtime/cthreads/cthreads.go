@@ -1,0 +1,6 @@
+// Package cthreads is a fixture stub: its path base matches the real
+// thread package, so *cthreads.Thread parameters mark coroutine
+// context in the virtualtime fixture.
+package cthreads
+
+type Thread struct{}

@@ -1,0 +1,64 @@
+// Package sim is a virtualtime fixture: it defines a stand-in Coro
+// (path base "sim" makes it match), so receiver and parameter
+// positions mark coroutine context exactly as in the real tree.
+package sim
+
+import (
+	"sync"
+
+	"virtualtime/cthreads"
+)
+
+type Coro struct {
+	ch chan int
+	mu sync.Mutex
+}
+
+func work() {}
+
+func (c *Coro) badConcurrency() {
+	go work()   // want `go statement`
+	c.ch <- 1   // want `channel send`
+	<-c.ch      // want `channel receive`
+	c.mu.Lock() // want `sync.Mutex operation`
+}
+
+func (c *Coro) badMake() {
+	ch := make(chan int) // want `make\(chan\)`
+	_ = ch
+}
+
+func (c *Coro) badSelect() {
+	select { // want `select statement`
+	default:
+	}
+}
+
+func (c *Coro) badRange() {
+	for range c.ch { // want `range over channel`
+	}
+}
+
+// param position marks coroutine context too.
+func viaParam(c *Coro, wg *sync.WaitGroup) {
+	wg.Wait() // want `sync.WaitGroup operation`
+}
+
+func viaThread(t *cthreads.Thread, ch chan int) {
+	close(ch) // want `close of channel`
+}
+
+func viaCond(c *Coro, cond *sync.Cond) {
+	cond.Broadcast() // want `sync.Cond operation`
+}
+
+// free functions without coroutine context may use native concurrency.
+func free(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+func (c *Coro) allowed() {
+	//simlint:allow virtualtime -- fixture: a justified suppression is honored
+	c.ch <- 1
+}

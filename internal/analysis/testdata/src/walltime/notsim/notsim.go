@@ -1,0 +1,7 @@
+// Package notsim is outside the simulated-package set, so wall-clock
+// use is legal and no diagnostics are expected.
+package notsim
+
+import "time"
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,40 @@
+// Package sim is a walltime fixture: its import path ends in /sim, so
+// the analyzer treats it as simulated code.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in simulated package`
+	"time"
+)
+
+func bad() time.Duration {
+	t0 := time.Now() // want `time.Now in simulated package`
+	time.Sleep(5)    // want `time.Sleep in simulated package`
+	_ = rand.Intn(4)
+	return time.Since(t0) // want `time.Since in simulated package`
+}
+
+func badTimers() {
+	_ = time.After(1)        // want `time.After in simulated package`
+	_ = time.NewTimer(1)     // want `time.NewTimer in simulated package`
+	_ = time.AfterFunc(1, f) // want `time.AfterFunc in simulated package`
+}
+
+func f() {}
+
+// legal: Duration values and arithmetic never touch the wall clock.
+func legal(d time.Duration) time.Duration { return d * 2 }
+
+func allowed() {
+	//simlint:allow walltime -- fixture: a justified suppression is honored
+	_ = time.Now()
+}
+
+func missingReason() {
+	_ = time.Now() //simlint:allow walltime // want `missing its mandatory reason` `time.Now in simulated package`
+}
+
+func unknownAnalyzer() {
+	//simlint:allow nosuchcheck -- some reason // want `unknown analyzer`
+	_ = time.Now() // want `time.Now in simulated package`
+}

@@ -1,0 +1,7 @@
+// Test files are exempt from the walltime rule: harnesses may measure
+// real elapsed time. No // want expectations here.
+package sim
+
+import "time"
+
+func testOnlyClock() time.Time { return time.Now() }

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis/framework"
+)
+
+// walltimeFuncs are the time-package functions that read or wait on the
+// wall clock. time.Duration and the arithmetic helpers stay legal: only
+// functions that couple simulated code to real time are banned.
+var walltimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Walltime forbids wall-clock time and math/rand in simulated packages:
+// virtual time advances only through the engine (sim.Engine.Now,
+// Coro.Sleep, Accessor.Advance) and randomness comes from the seeded
+// sim.RNG (Machine.RNG, Thread.Rand), so byte-identical replays from a
+// seed stay possible. Test files are exempt.
+var Walltime = &framework.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time and math/rand in simulated packages",
+	Run:  runWalltime,
+}
+
+func runWalltime(pass *framework.Pass) error {
+	if !simulatedPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in simulated package %s: use the seeded sim.RNG (Machine.RNG / Thread.Rand) so runs replay byte-identically", path, pass.Path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if walltimeFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in simulated package %s: virtual time must advance through the engine (sim.Engine.Now / Coro.Sleep / Accessor.Advance)", fn.Name(), pass.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -102,6 +102,7 @@ func (l *AdvisoryLock) lockInternal(t *cthreads.Thread, expectedHold sim.Time) {
 	adv := l.advice()
 	l.chargeAccesses(t, 1)
 	l.spinners++
+	//simlint:allow rawspin -- hybrid advised spin re-reads advice every adviceCheckEvery probes; SpinSpec chunking would reorder that charge and drift the deterministic metrics
 	for {
 		if l.flag.AtomicOr(t, 1) == 0 {
 			l.spinners--

@@ -25,34 +25,29 @@ func (l *BlockingLock) Lock(t *cthreads.Thread) {
 	start := t.Now()
 	t.Compute(l.costs.BlockLockSteps)
 	l.observe(t, l.waiting())
-	contended := false
-	for {
-		if l.flag.AtomicOr(t, 1) == 0 {
-			l.acquired(t, start, contended)
-			return
-		}
-		contended = true
-		// Busy: register, then re-test in case the lock was released
-		// while we were registering; otherwise sleep until woken.
-		w := l.q.enqueue(t)
+	if l.flag.AtomicOr(t, 1) == 0 {
+		l.acquired(t, start, false)
+		return
+	}
+	// Busy: register, then re-test in case the lock was released
+	// while we were registering; otherwise sleep until woken.
+	w := l.q.enqueue(t)
+	l.chargeAccesses(t, l.costs.QueueOpAccesses)
+	if l.flag.AtomicOr(t, 1) == 0 {
+		l.q.remove(w)
 		l.chargeAccesses(t, l.costs.QueueOpAccesses)
-		if l.flag.AtomicOr(t, 1) == 0 {
-			l.q.remove(w)
-			l.chargeAccesses(t, l.costs.QueueOpAccesses)
-			l.acquired(t, start, true)
-			return
-		}
-		if !w.granted {
-			l.stats.Blocks++
-			l.traceBlocked(t)
-			t.Block()
-		}
-		// Woken: the releaser handed the lock over directly (the word
-		// stayed set and this thread is the owner), in FCFS order.
-		t.Compute(l.costs.PostWakeSteps)
 		l.acquired(t, start, true)
 		return
 	}
+	if !w.granted {
+		l.stats.Blocks++
+		l.traceBlocked(t)
+		t.Block()
+	}
+	// Woken: the releaser handed the lock over directly (the word
+	// stayed set and this thread is the owner), in FCFS order.
+	t.Compute(l.costs.PostWakeSteps)
+	l.acquired(t, start, true)
 }
 
 // Unlock releases with direct handoff (the release component "grants new

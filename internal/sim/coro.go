@@ -82,7 +82,9 @@ func (c *Coro) Now() Time { return c.eng.now }
 // yieldToEngine returns control to the engine and blocks until redispatched.
 // Must only be called from inside the coro's own goroutine.
 func (c *Coro) yieldToEngine() {
+	//simlint:allow virtualtime -- the coro/engine handoff is the one place real channels implement virtual time
 	c.eng.yield <- struct{}{}
+	//simlint:allow virtualtime -- the coro/engine handoff is the one place real channels implement virtual time
 	<-c.resume
 	if c.killed {
 		panic(errKilled)

@@ -337,6 +337,7 @@ func (e *Engine) RunFor(d Time) error {
 func (e *Engine) shutdown() {
 	for len(e.live) > 0 {
 		var c *Coro
+		//simlint:allow maporder -- min-by-id selection reads every key; the result is iteration-order independent
 		for k := range e.live {
 			if c == nil || k.id < c.id {
 				c = k
@@ -350,7 +351,9 @@ func (e *Engine) shutdown() {
 // dispatch transfers control to c until it yields, parks, or finishes.
 // It must only be called from the engine side (event callbacks or Run).
 func (e *Engine) dispatch(c *Coro) {
+	//simlint:allow virtualtime -- the engine/coro handoff is the one place real channels implement virtual time
 	c.resume <- struct{}{}
+	//simlint:allow virtualtime -- the engine/coro handoff is the one place real channels implement virtual time
 	<-e.yield
 }
 

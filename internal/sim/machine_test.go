@@ -2,7 +2,6 @@ package sim
 
 import (
 	"testing"
-	"testing/quick"
 )
 
 // fakeAccessor records charged time for cell/latency tests.
@@ -113,48 +112,6 @@ func TestNewCellBadNodePanics(t *testing.T) {
 		}
 	}()
 	m.NewCell(5, "bad", 0)
-}
-
-func TestRNGDeterministicAndForkIndependent(t *testing.T) {
-	a, b := NewRNG(42), NewRNG(42)
-	for i := 0; i < 100; i++ {
-		if a.Uint64() != b.Uint64() {
-			t.Fatalf("same-seed streams diverge at %d", i)
-		}
-	}
-	c := NewRNG(42)
-	d := c.Fork()
-	same := 0
-	for i := 0; i < 100; i++ {
-		if c.Uint64() == d.Uint64() {
-			same++
-		}
-	}
-	if same > 2 {
-		t.Fatalf("forked stream tracks parent (%d/100 equal)", same)
-	}
-}
-
-func TestRNGIntnBounds(t *testing.T) {
-	r := NewRNG(7)
-	f := func(nRaw uint16) bool {
-		n := int(nRaw%1000) + 1
-		v := r.Intn(n)
-		return v >= 0 && v < n
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRNGFloat64Range(t *testing.T) {
-	r := NewRNG(9)
-	for i := 0; i < 1000; i++ {
-		v := r.Float64()
-		if v < 0 || v >= 1 {
-			t.Fatalf("Float64 = %v out of [0,1)", v)
-		}
-	}
 }
 
 func TestTimeString(t *testing.T) {

@@ -197,6 +197,7 @@ func (c *Coro) SpinUntil(ctx SpinContext, spec *SpinSpec) (iters int64, ok bool)
 // spinSlow is the per-iteration open-coded loop: the reference
 // implementation the emulator must match byte for byte.
 func (c *Coro) spinSlow(ctx SpinContext, spec *SpinSpec) (iters int64, ok bool) {
+	//simlint:allow rawspin -- this IS the reference spin loop that SpinUntil and the fast-forward must match
 	for {
 		if cell := spec.ProbeCell; cell != nil {
 			extra := Time(0)

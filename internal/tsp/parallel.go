@@ -403,6 +403,7 @@ func (s *solver) updateBest(t *cthreads.Thread, me int, tour *Tour) {
 // search is one searcher thread's body.
 func (s *solver) search(t *cthreads.Thread, me int) {
 	cfg := s.cfg
+	//simlint:allow rawspin -- worker main loop, not a spin: Compute here charges node-expansion work, and blocking happens in getWork/idle
 	for {
 		n := s.getWork(t, me)
 		if n == nil {
@@ -449,6 +450,7 @@ func (s *solver) idle(t *cthreads.Thread) bool {
 	s.activeCell.Store(t, v-1)
 	s.actLock.Unlock(t)
 
+	//simlint:allow rawspin -- termination protocol polls several cells and re-acquires locks inside the probe; a SpinSpec conversion would reorder charges and drift deterministic metrics
 	for {
 		if s.doneCell.Load(t) == 1 {
 			return true
