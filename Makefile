@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race bench bench-compare experiments clean
+.PHONY: all build vet lint fmt-check test race cover bench bench-compare experiments clean
 
 all: build vet lint fmt-check test
 
@@ -29,6 +29,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage gate: internal/profile is the observability tentpole, so its
+# statement coverage must stay at or above 80% (measured across the whole
+# test suite — its exercisers live in sim, cthreads, and locks tests too).
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/profile ./internal/... > /dev/null
+	@$(GO) tool cover -func=cover.out | tail -1
+	@pct="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/profile at %s%%, need >= 80%%\n", p; exit 1 } }'
+	@rm -f cover.out
 
 # Benchmark baseline: engine micro-benchmarks at full benchtime plus the
 # paper-table macro benchmarks at one iteration each (their sim-* metrics

@@ -25,6 +25,7 @@ func main() {
 	log.SetPrefix("adaptdemo: ")
 	procs := cli.ProcsFlag(flag.CommandLine, 8)
 	tf := cli.TraceFlags(flag.CommandLine)
+	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
@@ -38,6 +39,7 @@ func main() {
 	sys := cthreads.New(sim.Config{Nodes: *procs})
 	tracer := tf.Tracer()
 	sys.SetTracer(tracer)
+	obs.Attach(sys)
 	policy := core.SimpleAdapt{SpinAttr: locks.AttrSpinTime, WaitingThreshold: 2, Step: 10, MaxSpin: 100}
 	l := locks.NewAdaptiveLock(sys, 0, "demo-lock", locks.DefaultCosts(), policy)
 
@@ -106,6 +108,9 @@ func main() {
 		st.Decisions, st.Applied, st.Rejected, l.Object().ReconfigCost())
 	fmt.Printf("final configuration: %s\n", l.Object().Configuration())
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Flush(); err != nil {
 		log.Fatal(err)
 	}
 	if err := prof.Stop(); err != nil {

@@ -20,16 +20,23 @@
 //
 //	go test -run '^$' -bench . -benchmem -benchtime=1x . > macro.out
 //	benchjson -compare BENCH_sim.json macro.out
+//
+// With -update it runs the two benchmark suites itself (the same commands
+// `make bench` issues) and regenerates the baseline in place:
+//
+//	benchjson -update
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strconv"
@@ -67,8 +74,14 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path (- for stdout)")
 	compare := flag.String("compare", "",
 		"baseline JSON to diff the fresh run against; exits 1 on any deterministic-metric drift (no output file is written)")
+	update := flag.Bool("update", false,
+		"run the micro and macro benchmark suites (the same commands as `make bench`) and regenerate -out in place; takes no input files")
+	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if obs.Enabled() {
+		log.Fatal("-profile-vt/-ledger are not supported: benchjson runs no simulation of its own (attach them via lockbench, tspbench, figures, or adaptdemo)")
+	}
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
@@ -80,7 +93,31 @@ func main() {
 		Go:   runtime.Version(),
 	}
 	inputs := flag.Args()
-	if len(inputs) == 0 {
+	switch {
+	case *update:
+		if *compare != "" {
+			log.Fatal("-update and -compare are mutually exclusive")
+		}
+		if len(inputs) > 0 {
+			log.Fatal("-update takes no input files (it runs the benchmark suites itself)")
+		}
+		// Mirror `make bench`: engine micro-benchmarks at full benchtime,
+		// paper-table macro benchmarks at one deterministic iteration.
+		for _, args := range [][]string{
+			{"test", "-run", "^$", "-bench", ".", "-benchmem", "./internal/sim"},
+			{"test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime=1x", "."},
+		} {
+			fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+			cmd := exec.Command("go", args...)
+			cmd.Stderr = os.Stderr
+			raw, err := cmd.Output()
+			if err != nil {
+				log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+			}
+			os.Stdout.Write(raw)
+			parse(&base, bytes.NewReader(raw))
+		}
+	case len(inputs) == 0:
 		parse(&base, os.Stdin)
 	}
 	for _, path := range inputs {

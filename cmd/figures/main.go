@@ -6,6 +6,7 @@
 // Usage:
 //
 //	figures [-fig 1|sched|crossover|ablation|all] [-j N]
+//	        [-profile-vt FILE] [-ledger FILE]   (observers require -fig 1)
 package main
 
 import (
@@ -24,10 +25,17 @@ func main() {
 	log.SetPrefix("figures: ")
 	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
 	jobs := cli.JobsFlag(flag.CommandLine)
+	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
 	cli.ApplySpinBatch(*noSpinBatch)
+	// The extension experiments build their systems behind bare
+	// (config, jobs) signatures with no observer plumbing, so the
+	// observability flags only cover the Figure 1 sweep.
+	if obs.Enabled() && *fig != "1" {
+		log.Fatalf("-profile-vt/-ledger require -fig 1 (the other figures carry no observer plumbing)")
+	}
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
@@ -38,7 +46,8 @@ func main() {
 	printed := false
 
 	if want("1") {
-		rows, err := experiments.Figure1(experiments.Figure1Options{Jobs: *jobs})
+		rows, err := experiments.Figure1(experiments.Figure1Options{
+			Jobs: *jobs, Profiler: obs.Profiler(), Ledger: obs.Ledger()})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,6 +129,9 @@ func main() {
 	if !printed {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all)\n", *fig)
 		os.Exit(2)
+	}
+	if err := obs.Flush(); err != nil {
+		log.Fatal(err)
 	}
 	if err := prof.Stop(); err != nil {
 		log.Fatal(err)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	lockbench [-table 4|5|6|7|8|all] [-iters N] [-procs N] [-j N]
-//	          [-trace FILE] [-trace-reports]
+//	          [-trace FILE] [-trace-reports] [-profile-vt FILE] [-ledger FILE]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	procs := cli.ProcsFlag(flag.CommandLine, 0)
 	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
+	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
@@ -37,7 +38,8 @@ func main() {
 	defer prof.Stop()
 
 	tracer := tf.Tracer()
-	opts := experiments.Options{Iters: *iters, Tracer: tracer, Jobs: *jobs}
+	opts := experiments.Options{Iters: *iters, Tracer: tracer,
+		Profiler: obs.Profiler(), Ledger: obs.Ledger(), Jobs: *jobs}
 	if *procs > 0 {
 		opts.Machine = sim.Config{Nodes: *procs}
 	}
@@ -89,6 +91,9 @@ func main() {
 		os.Exit(2)
 	}
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Flush(); err != nil {
 		log.Fatal(err)
 	}
 	if err := prof.Stop(); err != nil {

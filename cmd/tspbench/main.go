@@ -36,6 +36,7 @@ func main() {
 	csvdir := flag.String("csvdir", "", "with -patterns, also write each figure's series as CSV into this directory")
 	jobs := cli.JobsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
+	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
@@ -54,6 +55,8 @@ func main() {
 		Uniform:          *uniform,
 		StepsPerWorkUnit: *steps,
 		Tracer:           tracer,
+		Profiler:         obs.Profiler(),
+		Ledger:           obs.Ledger(),
 		Jobs:             *jobs,
 	}
 	if *file != "" {
@@ -144,6 +147,9 @@ func main() {
 	}
 
 	if err := tf.Flush(tracer, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.Flush(); err != nil {
 		log.Fatal(err)
 	}
 	if err := prof.Stop(); err != nil {

@@ -1,10 +1,11 @@
 // Package cli centralizes the flag plumbing shared by the cmd/ binaries:
 // the -trace family (path, capacity, category selection, derived reports),
-// the deterministic -seed, the -procs processor count, the -j sweep
-// parallelism, and the -cpuprofile/-memprofile pair. Each binary
-// registers what it needs through these helpers so flag names, defaults,
-// and usage strings stay consistent across lockbench, tspbench, adaptdemo,
-// figures, and benchjson.
+// the -profile-vt/-ledger observability pair, the deterministic -seed,
+// the -procs processor count, the -j sweep parallelism, and the
+// -cpuprofile/-memprofile pair. Each binary registers what it needs
+// through these helpers so flag names, defaults, and usage strings stay
+// consistent across lockbench, tspbench, adaptdemo, figures, and
+// benchjson.
 package cli
 
 import (
@@ -17,6 +18,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -89,6 +93,113 @@ func (tf *Trace) Flush(tr *trace.Tracer, w io.Writer) error {
 			trace.RenderUtilization(tr.UtilizationTimeline(60), tr.End()),
 			trace.RenderContention(tr.ContentionProfile()),
 			trace.RenderLag(tr.AdaptationLag()))
+	}
+	return nil
+}
+
+// Observe holds the values of the shared virtual-time observability
+// flags: -profile-vt (the exact attribution profiler of internal/profile)
+// and -ledger (the adaptation decision ledger of internal/core). Both
+// collectors are shared across every simulation of a run, so binaries
+// force serial sweeps while either is enabled.
+type Observe struct {
+	// ProfilePath is the -profile-vt output file; empty means off.
+	ProfilePath string
+	// LedgerPath is the -ledger output file; empty means off.
+	LedgerPath string
+
+	prof   *profile.Profiler
+	ledger *core.Ledger
+}
+
+// ObserveFlags registers the shared observability flags on fs and returns
+// the struct they fill in at Parse time.
+func ObserveFlags(fs *flag.FlagSet) *Observe {
+	o := &Observe{}
+	fs.StringVar(&o.ProfilePath, "profile-vt", "",
+		"write an exact virtual-time attribution profile to this file (.folded = flamegraph collapsed stacks, otherwise a table plus wait/hold histograms); forces serial sweeps")
+	fs.StringVar(&o.LedgerPath, "ledger", "",
+		"write the adaptation decision ledger to this file (.json = machine-readable, otherwise a \"why did it switch?\" report); forces serial sweeps")
+	return o
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *Observe) Enabled() bool { return o.ProfilePath != "" || o.LedgerPath != "" }
+
+// Profiler lazily builds the shared profiler, or returns nil when
+// -profile-vt is off — the nil profiler is free on every hot path.
+func (o *Observe) Profiler() *profile.Profiler {
+	if o.ProfilePath == "" {
+		return nil
+	}
+	if o.prof == nil {
+		o.prof = profile.New()
+	}
+	return o.prof
+}
+
+// Ledger lazily builds the shared decision ledger, or returns nil when
+// -ledger is off.
+func (o *Observe) Ledger() *core.Ledger {
+	if o.LedgerPath == "" {
+		return nil
+	}
+	if o.ledger == nil {
+		o.ledger = core.NewLedger(core.DefaultLedgerCapacity)
+	}
+	return o.ledger
+}
+
+// Attach installs the configured observers directly on a system (for
+// binaries that build their own simulation; the experiment options
+// structs carry Profiler/Ledger fields otherwise).
+func (o *Observe) Attach(sys *cthreads.System) {
+	sys.SetProfiler(o.Profiler())
+	sys.SetLedger(o.Ledger())
+}
+
+// Flush writes the collected profile and ledger to their configured
+// paths: the profile as folded stacks when the path ends in .folded and
+// as a table plus histograms otherwise; the ledger as JSON when the path
+// ends in .json and as the decision report otherwise. Disabled outputs
+// are no-ops.
+func (o *Observe) Flush() error {
+	if o.ProfilePath != "" && o.prof != nil {
+		f, err := os.Create(o.ProfilePath)
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(filepath.Ext(o.ProfilePath), ".folded") {
+			err = o.prof.WriteFolded(f)
+		} else {
+			err = o.prof.WriteTable(f)
+			if err == nil {
+				err = o.prof.WriteHistograms(f)
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if o.LedgerPath != "" && o.ledger != nil {
+		f, err := os.Create(o.LedgerPath)
+		if err != nil {
+			return err
+		}
+		if strings.EqualFold(filepath.Ext(o.LedgerPath), ".json") {
+			err = o.ledger.WriteJSON(f)
+		} else {
+			err = o.ledger.WriteReport(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -137,6 +137,17 @@ type Object struct {
 	onSample func(Sample)
 	onApply  func(Decision, OwnerID, error)
 
+	// ledgerSrc/ledgerNow feed the adaptation decision ledger. Both are
+	// lazy accessors (the ledger may be attached to the substrate after
+	// the object is built) and may be nil or return nil — the nil ledger
+	// is free to append to. core stays substrate-agnostic: the substrate
+	// supplies virtual (or wall) timestamps through ledgerNow.
+	ledgerSrc func() *Ledger
+	ledgerNow func() int64
+	// feedbackSample is the sample currently flowing through the feedback
+	// loop, so Apply can record what triggered the decision.
+	feedbackSample *Sample
+
 	decisions   uint64
 	applied     uint64
 	rejected    uint64
@@ -180,8 +191,43 @@ func (o *Object) OnSample(fn func(Sample)) { o.onSample = fn }
 // object.
 func (o *Object) OnApply(fn func(Decision, OwnerID, error)) { o.onApply = fn }
 
+// SetLedgerSource wires the object to an adaptation decision ledger: src
+// resolves the ledger at entry time (so attaching the ledger to the
+// substrate after the object is built still works) and now supplies the
+// entry timestamps. Unlike OnSample/OnApply this is first-class — it does
+// not consume the observation hook slots.
+func (o *Object) SetLedgerSource(src func() *Ledger, now func() int64) {
+	o.ledgerSrc = src
+	o.ledgerNow = now
+}
+
+// ledgerRef resolves the attached ledger (nil when disabled).
+func (o *Object) ledgerRef() *Ledger {
+	if o.ledgerSrc == nil {
+		return nil
+	}
+	return o.ledgerSrc()
+}
+
+// ledgerTime resolves the current timestamp for ledger entries.
+func (o *Object) ledgerTime() int64 {
+	if o.ledgerNow == nil {
+		return 0
+	}
+	return o.ledgerNow()
+}
+
 // feedback is the closely-coupled loop body: sample → policy → apply.
 func (o *Object) feedback(s Sample) {
+	if led := o.ledgerRef(); led != nil {
+		led.Append(Entry{At: o.ledgerTime(), Object: o.name, Kind: EntrySample,
+			Sensor: s.Sensor, Value: s.Value, Seq: s.Seq})
+		// Copy before taking the address: &s directly would force the
+		// parameter to the heap on every call, ledger or not.
+		snap := s
+		o.feedbackSample = &snap
+		defer func() { o.feedbackSample = nil }()
+	}
 	if o.onSample != nil {
 		o.onSample(s)
 	}
@@ -200,6 +246,20 @@ func (o *Object) feedback(s Sample) {
 // agent, accumulating its read/write cost. Attribute decisions respect
 // mutability and ownership; method decisions respect the variant registry.
 func (o *Object) Apply(d Decision, by OwnerID) (err error) {
+	if led := o.ledgerRef(); led != nil {
+		prev := o.Configuration()
+		defer func() {
+			e := Entry{At: o.ledgerTime(), Object: o.name, Kind: EntryApply,
+				Decision: d.String(), Agent: int64(by), Prev: prev, Next: o.Configuration()}
+			if s := o.feedbackSample; s != nil {
+				e.Sensor, e.Value, e.Seq = s.Sensor, s.Value, s.Seq
+			}
+			if err != nil {
+				e.Err = err.Error()
+			}
+			led.Append(e)
+		}()
+	}
 	if o.onApply != nil {
 		defer func() { o.onApply(d, by, err) }()
 	}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Ledger entry kinds.
+const (
+	// EntrySample: one monitor sample entered an object's feedback loop.
+	EntrySample = "sample"
+	// EntryApply: one reconfiguration decision Ψ was attempted.
+	EntryApply = "apply"
+	// EntryDeliver: the loosely-coupled monitor pipeline delivered one
+	// record to its subscribers (internal/monitor appends these).
+	EntryDeliver = "deliver"
+)
+
+// Entry is one record in the adaptation decision ledger. Every field is a
+// simulated quantity, so a fixed seed produces byte-identical ledgers.
+type Entry struct {
+	// At is the virtual time of the entry in nanoseconds.
+	At int64 `json:"at"`
+	// Object is the adaptive object (or pipeline) the entry concerns.
+	Object string `json:"object"`
+	// Kind is EntrySample, EntryApply, or EntryDeliver.
+	Kind string `json:"kind"`
+
+	// Sensor/Value/Seq describe the monitor sample: the one recorded (for
+	// sample and deliver entries) or the one that triggered the decision
+	// (for apply entries reached through the feedback loop).
+	Sensor string `json:"sensor,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+
+	// Decision is the rendered reconfiguration decision (apply entries).
+	Decision string `json:"decision,omitempty"`
+	// Agent is the acting OwnerID (apply entries).
+	Agent int64 `json:"agent,omitempty"`
+	// Prev and Next are the object's rendered configuration before and
+	// after the decision was applied (apply entries).
+	Prev string `json:"prev,omitempty"`
+	Next string `json:"next,omitempty"`
+	// Err is the rejection reason when the decision failed.
+	Err string `json:"error,omitempty"`
+
+	// Lag is the collection-to-delivery delay in nanoseconds (deliver
+	// entries — the coupling looseness the paper's §3 discusses).
+	Lag int64 `json:"lag,omitempty"`
+}
+
+// Ledger is a bounded, append-only record of adaptation activity: every
+// sample entering a feedback loop, every reconfiguration decision with its
+// before/after configuration, and every loosely-coupled delivery. The nil
+// *Ledger is a valid disabled ledger: every method is nil-safe and free.
+type Ledger struct {
+	limit   int
+	entries []Entry
+	dropped uint64
+}
+
+// DefaultLedgerCapacity bounds the entry slice when NewLedger is passed a
+// non-positive capacity.
+const DefaultLedgerCapacity = 1 << 16
+
+// NewLedger returns a ledger bounded at capacity entries (<= 0 means
+// DefaultLedgerCapacity). Entries past the bound are counted in Dropped
+// and discarded — deterministically, since the entry stream itself is
+// deterministic.
+func NewLedger(capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = DefaultLedgerCapacity
+	}
+	return &Ledger{limit: capacity}
+}
+
+// Append records one entry. Safe (and free) on a nil ledger.
+func (l *Ledger) Append(e Entry) {
+	if l == nil {
+		return
+	}
+	if len(l.entries) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Entries returns the recorded entries in append order. The slice is the
+// ledger's own backing store; callers must not mutate it.
+func (l *Ledger) Entries() []Entry {
+	if l == nil {
+		return nil
+	}
+	return l.entries
+}
+
+// Len reports the number of recorded entries.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// Dropped reports how many entries were discarded at the capacity bound.
+func (l *Ledger) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// ledgerJSON is the WriteJSON envelope.
+type ledgerJSON struct {
+	Entries []Entry `json:"entries"`
+	Dropped uint64  `json:"dropped,omitempty"`
+}
+
+// WriteJSON emits the ledger as indented JSON: an object with the entry
+// array (append order) and the dropped count. Byte-reproducible for a
+// fixed seed.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	doc := ledgerJSON{Entries: l.Entries(), Dropped: l.Dropped()}
+	if doc.Entries == nil {
+		doc.Entries = []Entry{}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// renderAgent names an OwnerID for the report.
+func renderAgent(id int64) string {
+	switch OwnerID(id) {
+	case OwnerSelf:
+		return "self"
+	case OwnerNone:
+		return "none"
+	default:
+		return fmt.Sprintf("agent %d", id)
+	}
+}
+
+// WriteReport renders the "why did it switch?" report: per object, every
+// reconfiguration decision with the sample that triggered it and the
+// configuration it moved the object between, plus sample/delivery volume.
+func (l *Ledger) WriteReport(w io.Writer) error {
+	var applies int
+	perObject := map[string][]Entry{}
+	for _, e := range l.Entries() {
+		perObject[e.Object] = append(perObject[e.Object], e)
+		if e.Kind == EntryApply {
+			applies++
+		}
+	}
+	names := make([]string, 0, len(perObject))
+	for n := range perObject {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if _, err := fmt.Fprintf(w, "why did it switch? — adaptation decision ledger (%d entries, %d decisions, %d dropped)\n",
+		l.Len(), applies, l.Dropped()); err != nil {
+		return err
+	}
+	for _, n := range names {
+		entries := perObject[n]
+		var samples, deliveries, decisions int
+		var lagSum int64
+		for _, e := range entries {
+			switch e.Kind {
+			case EntrySample:
+				samples++
+			case EntryDeliver:
+				deliveries++
+				lagSum += e.Lag
+			case EntryApply:
+				decisions++
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\nobject %s: %d samples, %d decisions", n, samples, decisions); err != nil {
+			return err
+		}
+		if deliveries > 0 {
+			if _, err := fmt.Fprintf(w, ", %d deliveries (mean lag %d ns)", deliveries, lagSum/int64(deliveries)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.Kind != EntryApply {
+				continue
+			}
+			outcome := "applied"
+			if e.Err != "" {
+				outcome = "rejected: " + e.Err
+			}
+			if _, err := fmt.Fprintf(w, "  at %12d ns  %-24s [%s, %s]\n", e.At, e.Decision, renderAgent(e.Agent), outcome); err != nil {
+				return err
+			}
+			if e.Sensor != "" {
+				if _, err := fmt.Fprintf(w, "    trigger: %s=%d (sample #%d)\n", e.Sensor, e.Value, e.Seq); err != nil {
+					return err
+				}
+			}
+			if e.Prev != "" || e.Next != "" {
+				if _, err := fmt.Fprintf(w, "    config:  %s -> %s\n", e.Prev, e.Next); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// scriptedLedger builds a small fixed ledger exercising every entry kind:
+// two samples and one applied decision on an adaptive lock, one rejected
+// decision, and one loosely-coupled delivery on a pipeline.
+func scriptedLedger() *Ledger {
+	l := NewLedger(0)
+	l.Append(Entry{At: 100, Object: "alock", Kind: EntrySample, Sensor: "waiting-threads", Value: 3, Seq: 1})
+	l.Append(Entry{At: 250, Object: "alock", Kind: EntrySample, Sensor: "waiting-threads", Value: 5, Seq: 2})
+	l.Append(Entry{
+		At: 250, Object: "alock", Kind: EntryApply,
+		Sensor: "waiting-threads", Value: 5, Seq: 2,
+		Decision: "set spin-limit=40", Agent: int64(OwnerSelf),
+		Prev: "spin-limit=30", Next: "spin-limit=40",
+	})
+	l.Append(Entry{
+		At: 400, Object: "alock", Kind: EntryApply,
+		Decision: "set spin-limit=10", Agent: 7,
+		Prev: "spin-limit=40", Next: "spin-limit=40",
+		Err: "owned by another agent",
+	})
+	l.Append(Entry{At: 500, Object: "pipe", Kind: EntryDeliver, Sensor: "spin-time", Value: 900, Seq: 3, Lag: 120})
+	return l
+}
+
+// TestWriteJSONEmptyGolden pins the empty envelope: the entry array must
+// render as [] (never null) so downstream tooling can always iterate.
+func TestWriteJSONEmptyGolden(t *testing.T) {
+	var buf bytes.Buffer
+	var nilLedger *Ledger
+	if err := nilLedger.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"entries\": []\n}\n"
+	if got := buf.String(); got != want {
+		t.Errorf("nil ledger JSON:\n%q\nwant:\n%q", got, want)
+	}
+	buf.Reset()
+	if err := NewLedger(4).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("empty ledger JSON:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestWriteJSONGolden pins the populated envelope byte-for-byte, including
+// omitempty behavior on the optional fields.
+func TestWriteJSONGolden(t *testing.T) {
+	l := NewLedger(1)
+	l.Append(Entry{At: 100, Object: "alock", Kind: EntrySample, Sensor: "waiting-threads", Value: 3, Seq: 1})
+	l.Append(Entry{At: 200, Object: "alock", Kind: EntrySample, Sensor: "waiting-threads", Value: 4, Seq: 2})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "entries": [
+    {
+      "at": 100,
+      "object": "alock",
+      "kind": "sample",
+      "sensor": "waiting-threads",
+      "value": 3,
+      "seq": 1
+    }
+  ],
+  "dropped": 1
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("ledger JSON:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteReportGolden pins the "why did it switch?" rendering across all
+// three entry kinds, agent naming, rejection, and delivery lag.
+func TestWriteReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedLedger().WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"why did it switch? — adaptation decision ledger (5 entries, 2 decisions, 0 dropped)\n" +
+		"\n" +
+		"object alock: 2 samples, 2 decisions\n" +
+		"  at          250 ns  set spin-limit=40        [self, applied]\n" +
+		"    trigger: waiting-threads=5 (sample #2)\n" +
+		"    config:  spin-limit=30 -> spin-limit=40\n" +
+		"  at          400 ns  set spin-limit=10        [agent 7, rejected: owned by another agent]\n" +
+		"    config:  spin-limit=40 -> spin-limit=40\n" +
+		"\n" +
+		"object pipe: 0 samples, 0 decisions, 1 deliveries (mean lag 120 ns)\n"
+	if got := buf.String(); got != want {
+		t.Errorf("report:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLedgerCapacity pins the bounded-append contract: entries past the
+// limit are dropped (counted, not wrapped), and the recorded prefix keeps
+// append order.
+func TestLedgerCapacity(t *testing.T) {
+	l := NewLedger(2)
+	for i := int64(1); i <= 5; i++ {
+		l.Append(Entry{At: i, Object: "x", Kind: EntrySample})
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", l.Dropped())
+	}
+	if es := l.Entries(); es[0].At != 1 || es[1].At != 2 {
+		t.Errorf("kept entries at %d,%d; want the first two", es[0].At, es[1].At)
+	}
+}
+
+// TestLedgerNilSafety checks the disabled-instrument contract: every
+// method on a nil ledger is a free no-op.
+func TestLedgerNilSafety(t *testing.T) {
+	var l *Ledger
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Append(Entry{At: 1})
+		_ = l.Entries()
+		_ = l.Len()
+		_ = l.Dropped()
+	})
+	if allocs != 0 {
+		t.Errorf("nil ledger methods allocate %.0f allocs/op, want 0", allocs)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(0 entries, 0 decisions, 0 dropped)") {
+		t.Errorf("nil ledger report header wrong:\n%s", buf.String())
+	}
+}
+
+// TestFeedbackWithoutLedgerAllocationFree guards the zero-overhead
+// contract at the object level: an un-ledgered feedback pass must not
+// allocate. (Regression: taking &s of the sample parameter outside the
+// ledger branch forced it to the heap on every call.)
+func TestFeedbackWithoutLedgerAllocationFree(t *testing.T) {
+	o := NewObject("x")
+	allocs := testing.AllocsPerRun(200, func() {
+		o.feedback(Sample{Sensor: "s", Value: 1, Seq: 1})
+	})
+	if allocs != 0 {
+		t.Errorf("un-ledgered feedback allocates %.0f allocs/op, want 0", allocs)
+	}
+}
+
+// TestNewLedgerDefaultCapacity checks the non-positive-capacity fallback.
+func TestNewLedgerDefaultCapacity(t *testing.T) {
+	for _, c := range []int{0, -5} {
+		l := NewLedger(c)
+		if l.limit != DefaultLedgerCapacity {
+			t.Errorf("NewLedger(%d).limit = %d, want %d", c, l.limit, DefaultLedgerCapacity)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -71,6 +73,8 @@ type System struct {
 	all       []*Thread
 	stats     Stats
 	tracer    *trace.Tracer
+	prof      *profile.Profiler
+	ledger    *core.Ledger
 	exitHooks []func(*Thread)
 }
 
@@ -125,6 +129,32 @@ func (s *System) SetTracer(tr *trace.Tracer) {
 // nil tracer is safe to emit to, so callers need not check.
 func (s *System) Tracer() *trace.Tracer { return s.tracer }
 
+// SetProfiler attaches (or, with nil, detaches) the virtual-time
+// attribution profiler. Threads forked from this point on are registered;
+// the engine's attribution hook is installed for the mechanism
+// diagnostics. Unlike SetTracer this does not force any engine slow path.
+func (s *System) SetProfiler(p *profile.Profiler) {
+	s.prof = p
+	if p != nil {
+		s.eng.SetAttribution(p)
+	} else {
+		s.eng.SetAttribution(nil)
+	}
+}
+
+// Profiler returns the attached profiler (nil when profiling is disabled).
+// The nil profiler is safe to record to, so callers need not check.
+func (s *System) Profiler() *profile.Profiler { return s.prof }
+
+// SetLedger attaches (or, with nil, detaches) the adaptation decision
+// ledger. Adaptive objects built on this system pick it up lazily through
+// Ledger, so attach order relative to lock construction does not matter.
+func (s *System) SetLedger(l *core.Ledger) { s.ledger = l }
+
+// Ledger returns the attached decision ledger (nil when disabled). The
+// nil ledger is safe to append to, so callers need not check.
+func (s *System) Ledger() *core.Ledger { return s.ledger }
+
 // traceThread records one thread-lifecycle event.
 func (s *System) traceThread(kind trace.Kind, t *Thread, name string, a int64) {
 	if s.tracer == nil {
@@ -164,6 +194,7 @@ func (s *System) Fork(proc int, name string, fn func(t *Thread)) *Thread {
 	})
 	s.all = append(s.all, t)
 	s.stats.Forks++
+	t.prof = s.prof.Register(name, s.eng.Now())
 	s.traceThread(trace.KindThreadFork, t, name, 0)
 	p.enqueue(t)
 	p.maybeSchedule()
@@ -175,6 +206,16 @@ func (s *System) Fork(proc int, name string, fn func(t *Thread)) *Thread {
 // panics; the error names the stuck threads.
 func (s *System) Run() error {
 	err := s.eng.Run()
+	if s.prof != nil {
+		// Close this system's attribution records at the run's end time,
+		// so per-thread totals equal exactly the virtual time each thread
+		// existed (the conservation invariant). Only our own threads: one
+		// profiler may span several systems run back to back.
+		end := s.eng.Now()
+		for _, t := range s.all {
+			t.prof.Flush(end)
+		}
+	}
 	if err == nil {
 		return nil
 	}

@@ -1,6 +1,7 @@
 package cthreads
 
 import (
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -41,6 +42,7 @@ func (p *Processor) Switches() int { return p.switches }
 func (p *Processor) enqueue(t *Thread) {
 	t.state = StateReady
 	p.ready = append(p.ready, t)
+	t.prof.SetBase(p.sys.eng.Now(), profile.BaseQueued)
 	p.sys.traceThread(trace.KindThreadReady, t, "", 0)
 }
 
@@ -77,6 +79,7 @@ func (p *Processor) dispatch() {
 	}
 	t.state = StateRunning
 	t.sliceLeft = p.sys.mach.Config().Quantum
+	t.prof.SetBase(p.sys.eng.Now(), profile.BaseRunning)
 	p.sys.traceThread(trace.KindThreadRun, t, "", 0)
 	if !t.started {
 		t.started = true

@@ -3,6 +3,7 @@ package cthreads
 import (
 	"fmt"
 
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -33,6 +34,10 @@ type Thread struct {
 	blockedAt    sim.Time
 	blockedTotal sim.Time
 	sliceLeft    sim.Time
+
+	// prof is the thread's virtual-time attribution record, nil when the
+	// system has no profiler (every ThreadProf method is nil-safe).
+	prof *profile.ThreadProf
 }
 
 // ID returns the thread's fork-order index.
@@ -71,6 +76,10 @@ func (t *Thread) Rand() *sim.RNG {
 	}
 	return t.rng
 }
+
+// Prof returns the thread's attribution record (nil when the system has
+// no profiler; the nil record is safe to charge to).
+func (t *Thread) Prof() *profile.ThreadProf { return t.prof }
 
 // Busy reports total computation time this thread has charged.
 func (t *Thread) Busy() sim.Time { return t.busy }
@@ -169,6 +178,12 @@ func (t *Thread) SpinBudget() sim.Time {
 // engine batch futile iterations; see Coro.SpinUntil.
 func (t *Thread) SpinUntil(spec *sim.SpinSpec) (iters int64, ok bool) {
 	t.mustBeRunning("SpinUntil")
+	if t.prof != nil && spec.Label != "" {
+		t.prof.Push(t.Now(), spec.Label)
+		iters, ok = t.coro.SpinUntil(t, spec)
+		t.prof.Pop(t.Now(), spec.Label)
+		return iters, ok
+	}
 	return t.coro.SpinUntil(t, spec)
 }
 
@@ -193,6 +208,7 @@ func (t *Thread) Block() {
 	t.state = StateBlocked
 	t.blockedAt = t.sys.eng.Now()
 	t.timedOut = false
+	t.prof.SetBase(t.sys.eng.Now(), profile.BaseBlocked)
 	t.sys.traceThread(trace.KindThreadBlock, t, "", 0)
 	t.proc.release()
 	t.coro.Park()
@@ -208,6 +224,7 @@ func (t *Thread) BlockTimeout(d sim.Time) (timedOut bool) {
 	t.state = StateBlocked
 	t.blockedAt = t.sys.eng.Now()
 	t.timedOut = false
+	t.prof.SetBase(t.sys.eng.Now(), profile.BaseBlocked)
 	t.sys.traceThread(trace.KindThreadBlock, t, "", int64(d))
 	t.sys.eng.After(d, func() {
 		if t.state == StateBlocked && t.blockGen == gen {
@@ -270,6 +287,7 @@ func (t *Thread) exit() {
 	}
 	t.joiners = nil
 	t.state = StateDone
+	t.prof.SetBase(t.sys.eng.Now(), profile.BaseDone)
 	t.sys.traceThread(trace.KindThreadDone, t, "", 0)
 	for _, fn := range t.sys.exitHooks {
 		fn(t)

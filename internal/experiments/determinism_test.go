@@ -3,8 +3,11 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tsp"
@@ -125,6 +128,60 @@ func TestSweepParallelDeterminism(t *testing.T) {
 	}
 	if len(serial) == 0 {
 		t.Error("empty sweep output")
+	}
+}
+
+// renderObservedSweep runs Table4 and Figure1 with a profiler and ledger
+// attached at the given fan-out and renders every observable byte: the
+// experiment rows plus the full profiler and ledger exports.
+func renderObservedSweep(t *testing.T, jobs int) string {
+	t.Helper()
+	prof := profile.New()
+	led := core.NewLedger(core.DefaultLedgerCapacity)
+	var out bytes.Buffer
+
+	rows, err := Table4(Options{Iters: 3, Jobs: jobs, Profiler: prof, Ledger: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderLockOpTable("Table 4", rows))
+
+	fig1, err := Figure1(Figure1Options{
+		CSLengths: []sim.Time{10 * sim.Microsecond, 200 * sim.Microsecond},
+		Jobs:      jobs,
+		Profiler:  prof,
+		Ledger:    led,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&out, RenderFigure1(fig1))
+
+	for _, write := range []func(io.Writer) error{
+		prof.WriteFolded, prof.WriteTable, prof.WriteHistograms,
+		led.WriteJSON, led.WriteReport,
+	} {
+		if err := write(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.String()
+}
+
+// TestObservedSweepParallelDeterminism is the byte-identity gate for the
+// observability layer under sweep parallelism: a shared profiler and
+// ledger force the sweep runner serial, so -j 8 must produce exports
+// byte-identical to -j 1. A divergence means either the serial forcing
+// regressed (collectors raced) or an export leaked ordering
+// nondeterminism.
+func TestObservedSweepParallelDeterminism(t *testing.T) {
+	serial := renderObservedSweep(t, 1)
+	parallel := renderObservedSweep(t, 8)
+	if serial != parallel {
+		t.Error("observed sweep output with -j 8 differs from -j 1")
+	}
+	if len(serial) == 0 {
+		t.Error("empty observed sweep output")
 	}
 }
 

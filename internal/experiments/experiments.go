@@ -13,8 +13,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/locks"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -34,10 +36,31 @@ type Options struct {
 	// one virtual timeline restarting at zero per measurement. A non-nil
 	// tracer forces serial execution regardless of Jobs.
 	Tracer *trace.Tracer
+	// Profiler, when non-nil, is attached to every measured system: each
+	// simulation's threads charge their virtual time into the shared
+	// attribution profile. Like Tracer, it forces serial execution.
+	Profiler *profile.Profiler
+	// Ledger, when non-nil, records every adaptation decision the measured
+	// systems' reconfigurable locks make. Like Tracer, it forces serial
+	// execution.
+	Ledger *core.Ledger
 	// Jobs is the fan-out for independent measurements: each simulation
 	// runs on its own engine, so up to Jobs (capped at GOMAXPROCS) run
 	// concurrently while results keep their input order. 0 or 1 is serial.
 	Jobs int
+}
+
+// observed reports whether any observer is attached; observed sweeps run
+// serially so all events land on one coherent shared collector.
+func (o Options) observed() bool {
+	return o.Tracer != nil || o.Profiler != nil || o.Ledger != nil
+}
+
+// attach installs the configured observers on a measured system.
+func (o Options) attach(sys *cthreads.System) {
+	sys.SetTracer(o.Tracer)
+	sys.SetProfiler(o.Profiler)
+	sys.SetLedger(o.Ledger)
 }
 
 func (o Options) withDefaults() Options {
@@ -95,7 +118,7 @@ func kindLabel(k locks.Kind) string {
 // uncontended lock/unlock cycles.
 func measureOp(opts Options, kind locks.Kind, threadNode int, op string) (sim.Time, error) {
 	sys := cthreads.New(opts.Machine)
-	sys.SetTracer(opts.Tracer)
+	opts.attach(sys)
 	l, err := locks.New(sys, kind, 0, string(kind), *opts.Costs)
 	if err != nil {
 		return 0, err
@@ -139,7 +162,7 @@ func Table5(opts Options) ([]LockOpRow, error) {
 
 func lockOpTable(opts Options, kinds []locks.Kind, op string) ([]LockOpRow, error) {
 	opts = opts.withDefaults()
-	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(kinds), func(i int) (LockOpRow, error) {
+	return sweep(sweepJobs(opts.Jobs, opts.observed()), len(kinds), func(i int) (LockOpRow, error) {
 		k := kinds[i]
 		local, err := measureOp(opts, k, 0, op)
 		if err != nil {
@@ -175,7 +198,7 @@ func measureCycle(opts Options, mk cycleLock, lockNode int) (sim.Time, error) {
 		opts.Machine.Nodes = 3
 	}
 	sys := cthreads.New(opts.Machine)
-	sys.SetTracer(opts.Tracer)
+	opts.attach(sys)
 	l := mk(sys, lockNode, *opts.Costs)
 	var releaseAt, acquiredAt sim.Time
 	holder := sys.Fork(0, "holder", func(t *cthreads.Thread) {
@@ -243,7 +266,7 @@ func cycleTable(opts Options, cases []struct {
 	name string
 	mk   cycleLock
 }) ([]CycleRow, error) {
-	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(cases), func(i int) (CycleRow, error) {
+	return sweep(sweepJobs(opts.Jobs, opts.observed()), len(cases), func(i int) (CycleRow, error) {
 		cse := cases[i]
 		local, err := measureCycle(opts, cse.mk, 1) // lock local to the waiter
 		if err != nil {
@@ -272,7 +295,7 @@ func Table8(opts Options) ([]ConfigOpRow, error) {
 	opts = opts.withDefaults()
 	measure := func(threadNode int, f func(t *cthreads.Thread, l *locks.ReconfigurableLock)) (sim.Time, error) {
 		sys := cthreads.New(opts.Machine)
-		sys.SetTracer(opts.Tracer)
+		opts.attach(sys)
 		l := locks.NewReconfigurableLock(sys, 0, "cfg", *opts.Costs, 10)
 		var dur sim.Time
 		sys.Fork(threadNode, "agent", func(t *cthreads.Thread) {
@@ -311,7 +334,7 @@ func Table8(opts Options) ([]ConfigOpRow, error) {
 			l.GeneralMonitorSample(t)
 		}, false},
 	}
-	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(ops), func(i int) (ConfigOpRow, error) {
+	return sweep(sweepJobs(opts.Jobs, opts.observed()), len(ops), func(i int) (ConfigOpRow, error) {
 		o := ops[i]
 		local, err := measure(0, o.run)
 		if err != nil {

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/locks"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -22,6 +24,10 @@ type Figure1Options struct {
 	CSLengths []sim.Time
 	Machine   sim.Config
 	Costs     *locks.Costs
+	// Profiler and Ledger, when non-nil, observe every cell of the sweep
+	// (one shared collector), which forces serial execution.
+	Profiler *profile.Profiler
+	Ledger   *core.Ledger
 	// Jobs fans the (length × strategy) grid out over up to Jobs workers;
 	// every cell is an independent simulation. 0 or 1 is serial.
 	Jobs int
@@ -79,7 +85,8 @@ func Figure1(opts Figure1Options) ([]Figure1Row, error) {
 	strategies := Figure1Strategies()
 	// The grid is flattened to (length, strategy) cells so the fan-out sees
 	// every independent simulation, not just the row count.
-	cells, err := sweep(sweepJobs(opts.Jobs, false), len(opts.CSLengths)*len(strategies),
+	cells, err := sweep(sweepJobs(opts.Jobs, opts.Profiler != nil || opts.Ledger != nil),
+		len(opts.CSLengths)*len(strategies),
 		func(i int) (sim.Time, error) {
 			cs := opts.CSLengths[i/len(strategies)]
 			strat := strategies[i%len(strategies)]
@@ -94,6 +101,8 @@ func Figure1(opts Figure1Options) ([]Figure1Row, error) {
 				Jitter:    opts.LocalWork / 4,
 				Machine:   m,
 				Costs:     opts.Costs,
+				Profiler:  opts.Profiler,
+				Ledger:    opts.Ledger,
 			}, strat)
 			if err != nil {
 				return 0, fmt.Errorf("figure1 cs=%v %s: %w", cs, strat.Name, err)

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/locks"
 	"repro/internal/metrics"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tsp"
@@ -35,6 +37,11 @@ type TSPOptions struct {
 	// events; attaching one tracer to both runs would interleave two
 	// virtual timelines).
 	Tracer *trace.Tracer
+	// Profiler and Ledger attach to the adaptive solve like Tracer: the
+	// attribution profile and the decision ledger describe the run whose
+	// feedback loop actually adapts.
+	Profiler *profile.Profiler
+	Ledger   *core.Ledger
 	// Jobs fans independent solves (the per-lock runs of a comparison, the
 	// organizations of LockPatterns, the machine sizes of
 	// ScalingComparison) out over up to Jobs workers. 0 or 1 is serial.
@@ -112,14 +119,17 @@ func TSPComparison(org tsp.Organization, opts TSPOptions) (TSPRow, error) {
 		}
 		if kind == locks.KindAdaptive {
 			cfg.Tracer = opts.Tracer
+			cfg.Profiler = opts.Profiler
+			cfg.Ledger = opts.Ledger
 		}
 		return tsp.Solve(cfg)
 	}
 	row := TSPRow{Org: org}
 	// The per-lock solves (and, for the centralized organization, the
 	// sequential baseline) are fully independent simulations on separate
-	// engines; fan them out. The tracer attaches only to the adaptive run,
-	// so a shared tracer never sees interleaved timelines.
+	// engines; fan them out. The observers (tracer, profiler, ledger)
+	// attach only to the adaptive run, so a shared collector never sees
+	// interleaved timelines.
 	runs := []struct {
 		name  string
 		solve func() (tsp.Result, error)
@@ -240,9 +250,11 @@ func ScalingComparison(opts TSPOptions, searcherCounts []int) ([]ScalingRow, err
 	if len(searcherCounts) == 0 {
 		searcherCounts = []int{4, 8, 16, 24}
 	}
-	// Every machine size would attach the same tracer to its adaptive run,
-	// so a traced sweep must stay serial to keep one coherent timeline.
-	return sweep(sweepJobs(opts.Jobs, opts.Tracer != nil), len(searcherCounts), func(i int) (ScalingRow, error) {
+	// Every machine size would attach the same observers to its adaptive
+	// run, so an observed sweep must stay serial to keep one coherent
+	// timeline.
+	observed := opts.Tracer != nil || opts.Profiler != nil || opts.Ledger != nil
+	return sweep(sweepJobs(opts.Jobs, observed), len(searcherCounts), func(i int) (ScalingRow, error) {
 		o := opts
 		o.Searchers = searcherCounts[i]
 		row, err := TSPComparison(tsp.OrgCentralized, o)

@@ -50,6 +50,9 @@ func NewAdvisoryLock(sys *cthreads.System, node int, name string, costs Costs) *
 	}
 	l.obj = core.NewObject(name)
 	l.obj.Attrs.Define(AttrAdvice, AdviseSpin, true)
+	l.obj.SetLedgerSource(
+		func() *core.Ledger { return sys.Ledger() },
+		func() int64 { return int64(sys.Now()) })
 	return l
 }
 
@@ -144,7 +147,9 @@ func (l *AdvisoryLock) lockInternal(t *cthreads.Thread, expectedHold sim.Time) {
 		l.stats.Blocks++
 		if !w.granted {
 			l.traceBlocked(t)
+			l.waitStart(t)
 			t.Block()
+			l.waitEnd(t)
 		}
 		t.Compute(l.costs.PostWakeSteps)
 		adv = l.advice()
@@ -158,6 +163,7 @@ func (l *AdvisoryLock) lockInternal(t *cthreads.Thread, expectedHold sim.Time) {
 // (same stranding-free order as the reconfigurable lock).
 func (l *AdvisoryLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.chargeAccesses(t, 1)
 	l.owner = nil
@@ -167,4 +173,5 @@ func (l *AdvisoryLock) Unlock(t *cthreads.Thread) {
 		w.granted = true
 		t.Wake(w.t)
 	}
+	l.unlockEnd(t)
 }

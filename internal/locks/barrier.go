@@ -45,6 +45,10 @@ type AdaptiveBarrier struct {
 	// PollPause is the virtual time of one poll round.
 	PollPause sim.Time
 
+	// Attribution frame labels (precomputed; see internal/profile).
+	framePoll string
+	frameWait string
+
 	gen          uint64
 	arrived      int
 	firstArrival sim.Time
@@ -106,6 +110,8 @@ func NewAdaptiveBarrier(sys *cthreads.System, name string, parties int, policy c
 		name:      name,
 		parties:   parties,
 		PollPause: 2 * sim.Microsecond,
+		framePoll: "poll:" + name,
+		frameWait: "wait:" + name,
 	}
 	b.obj = core.NewObject(name)
 	b.obj.Attrs.Define(BarrierAttrSpin, 32, true)
@@ -119,6 +125,9 @@ func NewAdaptiveBarrier(sys *cthreads.System, name string, parties int, policy c
 		policy = BarrierReadyPolicy{ThresholdPct: 25, GraceSpin: 12, Step: 8, MaxSpin: 600}
 	}
 	b.obj.SetPolicy(policy)
+	b.obj.SetLedgerSource(
+		func() *core.Ledger { return sys.Ledger() },
+		func() int64 { return int64(sys.Now()) })
 	return b
 }
 
@@ -176,6 +185,7 @@ func (b *AdaptiveBarrier) Arrive(t *cthreads.Thread) bool {
 		Probe:     func() bool { return b.gen != gen },
 		PauseCost: b.pollPause,
 		MaxIters:  budget,
+		Label:     b.framePoll,
 	}
 	polls, tripped := t.SpinUntil(&spec)
 	b.polls += uint64(polls)
@@ -186,12 +196,18 @@ func (b *AdaptiveBarrier) Arrive(t *cthreads.Thread) bool {
 	w := &waiter{t: t, enqueued: t.Now()}
 	b.sleepers = append(b.sleepers, w)
 	b.blocks++
+	if p := t.Prof(); p != nil {
+		p.Push(t.Now(), b.frameWait)
+	}
 	for b.gen == gen {
 		if !w.granted {
 			t.Block()
 		} else {
 			break
 		}
+	}
+	if p := t.Prof(); p != nil {
+		p.Pop(t.Now(), b.frameWait)
 	}
 	return false
 }

@@ -42,7 +42,9 @@ func (l *BlockingLock) Lock(t *cthreads.Thread) {
 	if !w.granted {
 		l.stats.Blocks++
 		l.traceBlocked(t)
+		l.waitStart(t)
 		t.Block()
+		l.waitEnd(t)
 	}
 	// Woken: the releaser handed the lock over directly (the word
 	// stayed set and this thread is the owner), in FCFS order.
@@ -60,6 +62,8 @@ func (l *BlockingLock) Lock(t *cthreads.Thread) {
 // sleeper is ever stranded.
 func (l *BlockingLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
+	defer l.unlockEnd(t) // the handoff loop has several exits
 	t.Compute(l.costs.BlockUnlockSteps)
 	l.chargeAccesses(t, 1) // inspect the queue head
 	l.owner = nil

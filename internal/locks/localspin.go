@@ -60,11 +60,13 @@ func (l *LocalSpinLock) qnodeFor(t *cthreads.Thread) *qnode {
 			Probe:     func() bool { return qn.wait.Peek() == 0 },
 			PauseCost: l.spinPause,
 			MaxIters:  sim.SpinUnbounded,
+			Label:     l.frameSpin,
 		}
 		qn.link = sim.SpinSpec{
 			Probe:     func() bool { return qn.next != nil },
 			PauseCost: l.spinPause,
 			MaxIters:  sim.SpinUnbounded,
+			Label:     l.frameSpin + ".link",
 		}
 		l.nodes[t] = qn
 	}
@@ -110,6 +112,8 @@ func (l *LocalSpinLock) Lock(t *cthreads.Thread) {
 // resets the tail when no one waits.
 func (l *LocalSpinLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
+	defer l.unlockEnd(t) // the no-successor path has an early exit
 	t.Compute(l.costs.SpinUnlockSteps)
 	qn := l.qnodeFor(t)
 	l.owner = nil

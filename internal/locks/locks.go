@@ -70,15 +70,32 @@ type base struct {
 	stats    Stats
 	observer Observer
 	waitHist *metrics.Histogram
+
+	// Attribution frame labels, precomputed at construction so the
+	// profiler emit sites allocate nothing. frameSpin doubles as the
+	// SpinSpec.Label of the lock's busy-wait loops.
+	frameLock   string
+	frameUnlock string
+	frameCS     string
+	frameWait   string
+	frameSpin   string
+	// holdFrom is the acquisition instant of the current hold, feeding
+	// the hold-time histogram at release (profiler-only state).
+	holdFrom sim.Time
 }
 
 func newBase(sys *cthreads.System, node int, name string, costs Costs) base {
 	return base{
-		name:  name,
-		sys:   sys,
-		node:  node,
-		costs: costs,
-		flag:  sys.Machine().NewCell(node, name+".flag", 0),
+		name:        name,
+		sys:         sys,
+		node:        node,
+		costs:       costs,
+		flag:        sys.Machine().NewCell(node, name+".flag", 0),
+		frameLock:   "Lock:" + name,
+		frameUnlock: "Unlock:" + name,
+		frameCS:     "cs:" + name,
+		frameWait:   "wait:" + name,
+		frameSpin:   "spin:" + name,
 	}
 }
 
@@ -101,7 +118,9 @@ func (b *base) SetWaitHistogram(h *metrics.Histogram) { b.waitHist = h }
 // Owner returns the current owner thread, or nil.
 func (b *base) Owner() *cthreads.Thread { return b.owner }
 
-// observe reports a lock request with the current waiter count.
+// observe reports a lock request with the current waiter count. It also
+// opens the request's attribution frame ("Lock:name"), which acquired
+// closes — every Lock implementation calls the pair.
 func (b *base) observe(t *cthreads.Thread, waiting int) {
 	if waiting > b.stats.MaxWaiting {
 		b.stats.MaxWaiting = waiting
@@ -109,10 +128,15 @@ func (b *base) observe(t *cthreads.Thread, waiting int) {
 	if b.observer != nil {
 		b.observer(t.Now(), waiting)
 	}
+	if p := t.Prof(); p != nil {
+		p.Push(t.Now(), b.frameLock)
+	}
 	b.traceLock(t, trace.KindLockRequest, int64(waiting), 0)
 }
 
-// acquired finishes bookkeeping for a successful acquisition.
+// acquired finishes bookkeeping for a successful acquisition: it closes
+// the "Lock:name" frame, opens the critical-section frame, and records the
+// request-to-grant wait in the profiler's wait histogram.
 func (b *base) acquired(t *cthreads.Thread, start sim.Time, wasContended bool) {
 	b.owner = t
 	b.stats.Acquisitions++
@@ -124,11 +148,52 @@ func (b *base) acquired(t *cthreads.Thread, start sim.Time, wasContended bool) {
 	if b.waitHist != nil {
 		b.waitHist.Record(wait)
 	}
+	if p := t.Prof(); p != nil {
+		now := t.Now()
+		p.Pop(now, b.frameLock)
+		p.Push(now, b.frameCS)
+		b.sys.Profiler().RecordWait(b.name, wait)
+		b.holdFrom = now
+	}
 	var contended int64
 	if wasContended {
 		contended = 1
 	}
 	b.traceLock(t, trace.KindLockAcquire, int64(wait), contended)
+}
+
+// unlockStart opens the release's attribution frame: the critical section
+// ends here (feeding the hold-time histogram) and the "Unlock:name" frame
+// absorbs the release path's charges. Every Unlock implementation calls
+// it on entry and unlockEnd on every exit.
+func (b *base) unlockStart(t *cthreads.Thread) {
+	if p := t.Prof(); p != nil {
+		now := t.Now()
+		p.Pop(now, b.frameCS)
+		p.Push(now, b.frameUnlock)
+		b.sys.Profiler().RecordHold(b.name, now-b.holdFrom)
+	}
+}
+
+// unlockEnd closes the release's attribution frame.
+func (b *base) unlockEnd(t *cthreads.Thread) {
+	if p := t.Prof(); p != nil {
+		p.Pop(t.Now(), b.frameUnlock)
+	}
+}
+
+// waitStart/waitEnd bracket a requester's sleep on the lock with the
+// "wait:name" attribution frame (inside the request frame).
+func (b *base) waitStart(t *cthreads.Thread) {
+	if p := t.Prof(); p != nil {
+		p.Push(t.Now(), b.frameWait)
+	}
+}
+
+func (b *base) waitEnd(t *cthreads.Thread) {
+	if p := t.Prof(); p != nil {
+		p.Pop(t.Now(), b.frameWait)
+	}
 }
 
 // traceLock records one lock event against the calling thread. Free when

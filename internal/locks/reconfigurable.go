@@ -51,6 +51,9 @@ type ReconfigurableLock struct {
 	q         waitQueue
 	obj       *core.Object
 	successor *cthreads.Thread
+	// frameAdapt attributes the inline monitor-sample/adaptation work
+	// performed in Unlock ("adapt:name").
+	frameAdapt string
 }
 
 // NewReconfigurableLock allocates a reconfigurable lock on the given node
@@ -58,6 +61,7 @@ type ReconfigurableLock struct {
 // iterations (initialSpins 0 = pure blocking).
 func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Costs, initialSpins int64) *ReconfigurableLock {
 	l := &ReconfigurableLock{base: newBase(sys, node, name, costs)}
+	l.frameAdapt = "adapt:" + name
 	l.obj = core.NewObject(name)
 	l.obj.Attrs.Define(AttrSpinTime, initialSpins, true)
 	l.obj.Attrs.Define(AttrDelayTime, 0, true)
@@ -85,6 +89,11 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 		tr.Emit(trace.Event{At: sys.Now(), Kind: trace.KindReconfig, Proc: -1, Thread: -1,
 			Name: name, Extra: d.String(), A: d.Value})
 	})
+	// Route the feedback loop into the system's adaptation decision
+	// ledger the same way: resolved at entry time, free when detached.
+	l.obj.SetLedgerSource(
+		func() *core.Ledger { return sys.Ledger() },
+		func() int64 { return int64(sys.Now()) })
 	return l
 }
 
@@ -158,6 +167,7 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 				return pause
 			},
 			MaxIters: maxIters,
+			Label:    l.frameSpin,
 		}
 		iters, ok := t.SpinUntil(&spec)
 		l.stats.SpinIters += uint64(iters)
@@ -185,7 +195,9 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 		l.stats.Blocks++
 		l.traceBlocked(t)
 		if timeout > 0 {
+			l.waitStart(t)
 			timedOut := t.BlockTimeout(sim.Time(timeout))
+			l.waitEnd(t)
 			if timedOut && !w.granted {
 				// Conditional sleep expired without a grant: leave the
 				// queue before re-contending.
@@ -193,7 +205,9 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 				l.chargeAccesses(t, l.costs.QueueOpAccesses)
 			}
 		} else if !w.granted {
+			l.waitStart(t)
 			t.Block()
+			l.waitEnd(t)
 		}
 		// Woken — by a grant (the releaser freed the word with this
 		// thread as the scheduler's choice) or by timeout. Either way the
@@ -213,14 +227,21 @@ func (l *ReconfigurableLock) Lock(t *cthreads.Thread) {
 // for spinners.
 func (l *ReconfigurableLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
 	t.Compute(l.costs.AdaptUnlockSteps)
 	l.chargeAccesses(t, 1) // inspect the queue head
 
+	if p := t.Prof(); p != nil {
+		p.Push(t.Now(), l.frameAdapt)
+	}
 	if _, ok := l.obj.Monitor.Probe(SensorWaiting); ok {
 		// The closely-coupled customized monitor: collect the sample and
 		// run the adaptation policy inline, in the unlocking thread.
 		t.Compute(l.costs.MonitorSampleSteps)
 		l.chargeAccesses(t, 2) // read the sensed state, write the attribute
+	}
+	if p := t.Prof(); p != nil {
+		p.Pop(t.Now(), l.frameAdapt)
 	}
 
 	sched, err := l.obj.Methods.Installed(MethodScheduler)
@@ -248,6 +269,7 @@ func (l *ReconfigurableLock) Unlock(t *cthreads.Thread) {
 		w.granted = true
 		t.Wake(w.t)
 	}
+	l.unlockEnd(t)
 }
 
 // ConfigureBy applies a reconfiguration decision on behalf of the calling

@@ -25,6 +25,7 @@ func NewSpinLock(sys *cthreads.System, node int, name string, costs Costs) *Spin
 		Probe:       l.tasProbe,
 		PauseCost:   l.spinPause,
 		MaxIters:    sim.SpinUnbounded,
+		Label:       l.frameSpin,
 	}
 	return l
 }
@@ -47,10 +48,12 @@ func (l *SpinLock) Lock(t *cthreads.Thread) {
 // Unlock clears the word; any spinner's next test-and-set wins.
 func (l *SpinLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.owner = nil
 	l.traceRelease(t)
 	l.flag.Store(t, 0)
+	l.unlockEnd(t)
 }
 
 // BackoffSpinLock is the spin-with-backoff variation of Anderson et al.
@@ -73,6 +76,7 @@ func NewBackoffSpinLock(sys *cthreads.System, node int, name string, costs Costs
 		Probe:       l.tasProbe,
 		PauseCost:   l.backoffPause,
 		MaxIters:    sim.SpinUnbounded,
+		Label:       l.frameSpin,
 	}
 	return l
 }
@@ -105,8 +109,10 @@ func (l *BackoffSpinLock) Lock(t *cthreads.Thread) {
 // Unlock clears the word.
 func (l *BackoffSpinLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
 	t.Compute(l.costs.SpinUnlockSteps)
 	l.owner = nil
 	l.traceRelease(t)
 	l.flag.Store(t, 0)
+	l.unlockEnd(t)
 }

@@ -22,6 +22,7 @@ func NewTASLock(sys *cthreads.System, node int, name string, costs Costs) *TASLo
 		Probe:       l.tasProbe,
 		PauseCost:   l.spinPause,
 		MaxIters:    sim.SpinUnbounded,
+		Label:       l.frameSpin,
 	}
 	return l
 }
@@ -43,8 +44,10 @@ func (l *TASLock) Lock(t *cthreads.Thread) {
 // Unlock clears the word.
 func (l *TASLock) Unlock(t *cthreads.Thread) {
 	l.checkOwner(t, "Unlock")
+	l.unlockStart(t)
 	t.Compute(l.costs.TASUnlockSteps)
 	l.owner = nil
 	l.traceRelease(t)
 	l.flag.Store(t, 0)
+	l.unlockEnd(t)
 }

@@ -92,6 +92,23 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	return h.max
 }
 
+// P50 returns the median upper bound.
+func (h *Histogram) P50() sim.Time { return h.Quantile(0.50) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() sim.Time { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile upper bound.
+func (h *Histogram) P999() sim.Time { return h.Quantile(0.999) }
+
+// Summary renders the one-line digest the profiler's histogram exporter
+// prints: sample count, mean, tail quantiles, and max. All quantities are
+// simulated times, so the string is byte-reproducible for a fixed seed.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%-8d mean=%-12s p50=%-12s p99=%-12s p999=%-12s max=%s",
+		h.count, h.Mean(), h.P50(), h.P99(), h.P999(), h.max)
+}
+
 // String renders the non-empty buckets with proportional bars.
 func (h *Histogram) String() string {
 	var sb strings.Builder

@@ -89,6 +89,44 @@ func TestQuantileAboveOneClamps(t *testing.T) {
 	}
 }
 
+func TestPWrappersMatchQuantile(t *testing.T) {
+	h := NewHistogram("p")
+	for d := sim.Time(1); d < 1<<16; d *= 2 {
+		h.Record(d)
+	}
+	if h.P50() != h.Quantile(0.50) {
+		t.Errorf("P50 = %v, Quantile(0.50) = %v", h.P50(), h.Quantile(0.50))
+	}
+	if h.P99() != h.Quantile(0.99) {
+		t.Errorf("P99 = %v, Quantile(0.99) = %v", h.P99(), h.Quantile(0.99))
+	}
+	if h.P999() != h.Quantile(0.999) {
+		t.Errorf("P999 = %v, Quantile(0.999) = %v", h.P999(), h.Quantile(0.999))
+	}
+	if h.P50() > h.P99() || h.P99() > h.P999() || h.P999() > h.Max() {
+		t.Errorf("tail quantiles not ordered: p50=%v p99=%v p999=%v max=%v",
+			h.P50(), h.P99(), h.P999(), h.Max())
+	}
+}
+
+// TestSummaryGolden pins the exact digest layout the profiler's histogram
+// exporter depends on for byte-reproducible output.
+func TestSummaryGolden(t *testing.T) {
+	h := NewHistogram("s")
+	if got, want := h.Summary(),
+		"n=0        mean=0ns          p50=0ns          p99=0ns          p999=0ns          max=0ns"; got != want {
+		t.Errorf("empty Summary:\n%q\nwant:\n%q", got, want)
+	}
+	h.Record(50)
+	h.Record(70)
+	// Both quantile target ranks truncate to the first sample (bucket
+	// [32,64), top 64); mean and max are exact.
+	if got, want := h.Summary(),
+		"n=2        mean=60ns         p50=64ns         p99=64ns         p999=64ns         max=70ns"; got != want {
+		t.Errorf("Summary of {50,70}:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 func TestQuantileMonotone(t *testing.T) {
 	h := NewHistogram("mono")
 	for d := sim.Time(1); d < 1<<20; d *= 3 {

@@ -16,6 +16,7 @@ package monitor
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -95,6 +96,10 @@ type Local struct {
 	stop    bool
 	stopped bool
 	thread  *cthreads.Thread
+
+	// ledger, when set, receives one deliver entry per processed record
+	// with the pipeline's collection-to-delivery lag.
+	ledger *core.Ledger
 }
 
 // NewLocal creates a local monitor; Start forks its thread.
@@ -109,6 +114,12 @@ func NewLocal(sys *cthreads.System, cfg Config) *Local {
 // Subscribe registers a consumer of processed records. Must be called
 // before Start.
 func (m *Local) Subscribe(s Subscriber) { m.subs = append(m.subs, s) }
+
+// SetLedger attaches (or, with nil, detaches) an adaptation decision
+// ledger: each processed record appends one deliver entry carrying the
+// pipeline lag, making the loose coupling the paper's §3 discusses
+// directly auditable next to the closely-coupled decisions.
+func (m *Local) SetLedger(l *core.Ledger) { m.ledger = l }
 
 // Stats returns activity counters.
 func (m *Local) Stats() Stats {
@@ -174,6 +185,11 @@ func (m *Local) Start() *cthreads.Thread {
 				t.Compute(m.cfg.PerRecordSteps)
 				m.delivered++
 				m.lagSum += t.Now() - rec.At
+				if m.ledger != nil { // guard: the Entry assembly below allocates
+					m.ledger.Append(core.Entry{At: int64(t.Now()), Object: "monitor",
+						Kind: core.EntryDeliver, Sensor: fmt.Sprintf("sensor-%d", rec.Sensor),
+						Value: rec.Value, Lag: int64(t.Now() - rec.At)})
+				}
 				if tr := m.sys.Tracer(); tr != nil {
 					tr.Emit(trace.Event{At: t.Now(), Kind: trace.KindMonitorDeliver,
 						Proc: int32(t.Node()), Thread: int32(t.ID()),

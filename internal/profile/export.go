@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// merged sums every thread's accumulators by attribution key. Same-named
+// threads (e.g. the same workload run across a serial sweep) merge, which
+// keeps the output deterministic regardless of how many systems fed the
+// profiler.
+func (p *Profiler) merged() (keys []string, sums map[string]sim.Time) {
+	sums = map[string]sim.Time{}
+	if p == nil {
+		return nil, sums
+	}
+	for _, tp := range p.threads {
+		for k, v := range tp.acc {
+			if _, ok := sums[k]; !ok {
+				keys = append(keys, k)
+			}
+			sums[k] += v
+		}
+	}
+	sort.Strings(keys)
+	return keys, sums
+}
+
+// WriteFolded emits the attribution in folded-stack (flamegraph) form:
+// one line per (thread;state;frames) key with its virtual-time total in
+// nanoseconds, sorted lexically. Feed it to any flamegraph renderer that
+// accepts Brendan Gregg's collapsed format.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	keys, sums := p.merged()
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, int64(sums[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable emits a fixed-width attribution table sorted by descending
+// virtual time (key order breaks ties), with each key's share of the
+// grand total. All quantities are simulated, so the bytes are
+// reproducible for a fixed seed.
+func (p *Profiler) WriteTable(w io.Writer) error {
+	keys, sums := p.merged()
+	sort.SliceStable(keys, func(i, j int) bool {
+		if sums[keys[i]] != sums[keys[j]] {
+			return sums[keys[i]] > sums[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	var total sim.Time
+	for _, k := range keys {
+		total += sums[k]
+	}
+	if _, err := fmt.Fprintf(w, "virtual-time attribution (total %d ns across %d keys)\n", int64(total), len(keys)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%14s %7s  %s\n", "ns", "%", "thread;state;frames"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(sums[k]) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "%14d %6.2f%%  %s\n", int64(sums[k]), pct, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHistograms emits the per-lock wait- and hold-time digests
+// (count, mean, p50/p99/p999, max), one line per histogram, sorted by
+// lock name with waits before holds.
+func (p *Profiler) WriteHistograms(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	names := map[string]bool{}
+	for n := range p.waitHists {
+		names[n] = true
+	}
+	for n := range p.holdHists {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if h := p.waitHists[n]; h != nil {
+			if _, err := fmt.Fprintf(w, "wait %-20s %s\n", n, h.Summary()); err != nil {
+				return err
+			}
+		}
+		if h := p.holdHists[n]; h != nil {
+			if _, err := fmt.Fprintf(w, "hold %-20s %s\n", n, h.Summary()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Golden tests of the exporters against a hand-scripted attribution
+// timeline, so the exact output bytes — the folded-stack grammar, the
+// table layout, the histogram digests — are pinned independently of any
+// simulation.
+package profile_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// scriptedProfiler replays one thread's fixed timeline:
+//
+//	  0–100  queued
+//	100–150  running
+//	150–170  running;Lock:l
+//	170–200  running;Lock:l;spin:l
+//	200–260  running;cs:l
+//	260–300  running
+//	300–330  done
+func scriptedProfiler() *profile.Profiler {
+	p := profile.New()
+	tp := p.Register("w", 0)
+	tp.SetBase(100, profile.BaseRunning)
+	tp.Push(150, "Lock:l")
+	tp.Push(170, "spin:l")
+	tp.Pop(200, "spin:l")
+	tp.Pop(200, "Lock:l")
+	tp.Push(200, "cs:l")
+	tp.Pop(260, "cs:l")
+	tp.SetBase(300, profile.BaseDone)
+	tp.Flush(330)
+	p.RecordWait("l", 50)
+	p.RecordWait("l", 70)
+	p.RecordHold("l", 60)
+	return p
+}
+
+func TestWriteFoldedGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedProfiler().WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"w;done 30",
+		"w;queued 100",
+		"w;running 90",
+		"w;running;Lock:l 20",
+		"w;running;Lock:l;spin:l 30",
+		"w;running;cs:l 60",
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("folded output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedProfiler().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"virtual-time attribution (total 330 ns across 6 keys)\n" +
+		"            ns       %  thread;state;frames\n" +
+		"           100  30.30%  w;queued\n" +
+		"            90  27.27%  w;running\n" +
+		"            60  18.18%  w;running;cs:l\n" +
+		"            30   9.09%  w;done\n" +
+		"            30   9.09%  w;running;Lock:l;spin:l\n" +
+		"            20   6.06%  w;running;Lock:l\n"
+	if got := buf.String(); got != want {
+		t.Errorf("table output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteHistogramsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := scriptedProfiler().WriteHistograms(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Quantiles are bucket upper bounds: the 50ns wait is in bucket
+	// [32,64) and the 70ns wait in [64,128). With n=2 every quantile's
+	// target rank truncates to the first sample, so p50 through p999 all
+	// report bucket [32,64)'s top, 64ns; max carries the exact tail.
+	want := "" +
+		"wait l                    n=2        mean=60ns         p50=64ns         p99=64ns         p999=64ns         max=70ns\n" +
+		"hold l                    n=1        mean=60ns         p50=60ns         p99=60ns         p999=60ns         max=60ns\n"
+	if got := buf.String(); got != want {
+		t.Errorf("histogram output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestConservationScripted checks the invariant on the scripted timeline
+// and that Flush is idempotent.
+func TestConservationScripted(t *testing.T) {
+	p := scriptedProfiler()
+	tp := p.Threads()[0]
+	if got := tp.Total(); got != 330 {
+		t.Fatalf("total %d, want 330", got)
+	}
+	tp.Flush(330) // idempotent: no interval has elapsed
+	if got := tp.Total(); got != 330 {
+		t.Fatalf("total after re-flush %d, want 330", got)
+	}
+}
+
+// TestPopAbsentFrame pins the multi-exit safety contract: popping a frame
+// that is not on the stack charges the interval but leaves the stack
+// untouched.
+func TestPopAbsentFrame(t *testing.T) {
+	p := profile.New()
+	tp := p.Register("w", 0)
+	tp.Push(0, "Lock:l")
+	tp.Pop(10, "cs:l") // absent: charge 0–10 to w;queued;Lock:l, change nothing
+	tp.Pop(20, "Lock:l")
+	tp.Flush(30)
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "w;queued 10\nw;queued;Lock:l 20\n"
+	if got := buf.String(); got != want {
+		t.Errorf("folded output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestMergedThreads pins the cross-system merge rule: same-named threads
+// (e.g. one workload rerun across a serial sweep) accumulate into the
+// same keys.
+func TestMergedThreads(t *testing.T) {
+	p := profile.New()
+	a := p.Register("w", 0)
+	a.Flush(100) // 100ns queued
+	b := p.Register("w", 0)
+	b.SetBase(40, profile.BaseRunning)
+	b.Flush(100) // 40ns queued + 60ns running
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "w;queued 140\nw;running 60\n"
+	if got := buf.String(); got != want {
+		t.Errorf("folded output:\n%q\nwant:\n%q", got, want)
+	}
+	if p.Threads()[0].Total() != 100 || p.Threads()[1].Total() != 100 {
+		t.Error("per-record totals lost in merge")
+	}
+}
+
+var _ = sim.Time(0) // keep the sim import if golden constants change form

@@ -141,6 +141,7 @@ type Engine struct {
 	running bool
 	stopped bool
 	tracer  Tracer
+	attr    Attribution
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
@@ -351,6 +352,9 @@ func (e *Engine) shutdown() {
 // dispatch transfers control to c until it yields, parks, or finishes.
 // It must only be called from the engine side (event callbacks or Run).
 func (e *Engine) dispatch(c *Coro) {
+	if e.attr != nil {
+		e.attr.CoroDispatched(e.now)
+	}
 	//simlint:allow virtualtime -- the engine/coro handoff is the one place real channels implement virtual time
 	c.resume <- struct{}{}
 	//simlint:allow virtualtime -- the engine/coro handoff is the one place real channels implement virtual time
@@ -364,6 +368,24 @@ func (e *Engine) fail(err error) {
 	}
 	e.stopped = true
 }
+
+// Attribution receives engine-mechanism notifications for the virtual-time
+// profiler (internal/profile). Unlike the Tracer it does NOT force the
+// engine's slow paths: inline wakeups and spin batching stay on while an
+// Attribution is installed, so what it observes is mechanism (dispatch and
+// fast-forward counts), which is mode-dependent and diagnostic only —
+// virtual-time attribution itself happens at the thread layer and is
+// identical across modes. Callbacks must not mutate simulated state.
+type Attribution interface {
+	// CoroDispatched fires on every real coroutine handoff.
+	CoroDispatched(at Time)
+	// SpinFastForward fires after a batched-spin commit of iters
+	// iterations ending at virtual time at.
+	SpinFastForward(at Time, iters int64)
+}
+
+// SetAttribution installs (or, with nil, removes) the attribution hook.
+func (e *Engine) SetAttribution(a Attribution) { e.attr = a }
 
 // Tracer receives one line per engine occurrence when tracing is enabled:
 // event scheduling ("schedule"), event dispatch ("event"), and coro

@@ -56,6 +56,11 @@ type SpinSpec struct {
 	// gives up; SpinUnbounded (negative) spins until Probe succeeds, 0
 	// probes once and gives up immediately.
 	MaxIters int64
+	// Label names the loop for virtual-time attribution (e.g.
+	// "spin:lock-a"); cthreads.Thread.SpinUntil brackets the loop with a
+	// profiler frame when both a label and a profiler are present. Empty
+	// means unattributed; the simulation itself never reads it.
+	Label string
 }
 
 // SpinContext is the accessor-side contract SpinUntil needs beyond plain
@@ -418,4 +423,7 @@ func (e *Engine) fastForwardSpin(s *spinState) {
 	s.iters += k
 	e.spinFastForwards++
 	e.spinBatchedIters += uint64(k)
+	if e.attr != nil {
+		e.attr.SpinFastForward(e.now, k)
+	}
 }

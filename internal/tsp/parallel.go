@@ -3,9 +3,11 @@ package tsp
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/locks"
 	"repro/internal/metrics"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -64,6 +66,12 @@ type Config struct {
 	// Tracer, when non-nil, records the solve's thread, lock, and
 	// adaptation events in virtual time.
 	Tracer *trace.Tracer
+	// Profiler, when non-nil, charges every tick of the solve's virtual
+	// time to (thread, lock, state) attribution keys.
+	Profiler *profile.Profiler
+	// Ledger, when non-nil, records the adaptive locks' reconfiguration
+	// decisions with their sensor inputs.
+	Ledger *core.Ledger
 }
 
 // Result is the outcome of a parallel (or simulated-sequential) solve.
@@ -174,6 +182,8 @@ func Solve(cfg Config) (Result, error) {
 		trueBest: Inf,
 	}
 	s.sys.SetTracer(cfg.Tracer)
+	s.sys.SetProfiler(cfg.Profiler)
+	s.sys.SetLedger(cfg.Ledger)
 	s.build()
 
 	// The root problem is enqueued before the searchers start (the main

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/locks"
+	"repro/internal/profile"
 	"repro/internal/sim"
 )
 
@@ -90,6 +91,10 @@ type CSConfig struct {
 	LongFrac float64
 	Machine  sim.Config
 	Costs    *locks.Costs
+	// Profiler and Ledger, when non-nil, observe the run: virtual-time
+	// attribution and adaptation decisions respectively.
+	Profiler *profile.Profiler
+	Ledger   *core.Ledger
 }
 
 // CSResult is the outcome of one critical-section workload run.
@@ -112,6 +117,8 @@ func RunCS(cfg CSConfig, strat Strategy) (CSResult, error) {
 		costs = *cfg.Costs
 	}
 	sys := cthreads.New(cfg.Machine)
+	sys.SetProfiler(cfg.Profiler)
+	sys.SetLedger(cfg.Ledger)
 	l := strat.Make(sys, 0, costs)
 	for i := 0; i < cfg.Threads; i++ {
 		proc := i % cfg.Procs
