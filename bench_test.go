@@ -239,6 +239,32 @@ func BenchmarkPolicyAblation(b *testing.B) {
 	b.ReportMetric(best.Elapsed.Millis(), "sim-ms-best")
 }
 
+// BenchmarkShardedEngine runs one big 1024-node NUMA simulation — the
+// client/server ring of the sharded-scaling experiment — partitioned
+// into 1, 2, 4, and 8 conservative-parallel shards. The simulated
+// quantities are identical in every sub-benchmark by the sharded
+// engine's serial-equivalence contract, so any cross-shard drift trips
+// the benchjson gate; ns/op shows the wall-clock effect of partitioning
+// (real speedup needs real cores — on a single-core host the shards
+// time-slice and only the coordination overhead is visible).
+func BenchmarkShardedEngine(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var row experiments.ShardedRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.ShardedRun(sim.Config{Nodes: 1024, Seed: 1}, shards, 0, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.SimTime.Millis(), "sim-ms-elapsed")
+			b.ReportMetric(float64(row.CrossMsgs), "sim-cross-msgs")
+			b.ReportMetric(float64(row.Checksum%1_000_000_007), "sim-checksum")
+		})
+	}
+}
+
 // metricName flattens a label into a benchmark-metric-safe token.
 func metricName(s string) string {
 	out := make([]rune, 0, len(s))

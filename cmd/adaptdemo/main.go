@@ -24,12 +24,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptdemo: ")
 	procs := cli.ProcsFlag(flag.CommandLine, 8)
+	shards := cli.ShardsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
 	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
 	flag.Parse()
 	cli.ApplySpinBatch(*noSpinBatch)
+	if err := cli.ValidateShards(*shards, tf, obs); err != nil {
+		log.Fatal(err)
+	}
+	if *shards > 1 {
+		log.Fatalf("-shards %d: the demo's adaptive lock is a synchronous shared object; it needs the serial engine (sharded scaling lives in `figures -fig sharded`)", *shards)
+	}
 
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	figures [-fig 1|sched|crossover|ablation|all] [-j N]
+//	figures [-fig 1|sched|crossover|ablation|sharded|all] [-j N]
 //	        [-profile-vt FILE] [-ledger FILE]   (observers require -fig 1)
+//	        [-shards N]                         (largest shard count for -fig sharded)
 package main
 
 import (
@@ -23,8 +24,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all")
+	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, sharded, or all")
 	jobs := cli.JobsFlag(flag.CommandLine)
+	shards := cli.ShardsFlag(flag.CommandLine)
 	obs := cli.ObserveFlags(flag.CommandLine)
 	prof := cli.ProfileFlags(flag.CommandLine)
 	noSpinBatch := cli.NoSpinBatchFlag(flag.CommandLine)
@@ -35,6 +37,12 @@ func main() {
 	// observability flags only cover the Figure 1 sweep.
 	if obs.Enabled() && *fig != "1" {
 		log.Fatalf("-profile-vt/-ledger require -fig 1 (the other figures carry no observer plumbing)")
+	}
+	if err := cli.ValidateShards(*shards, nil, obs); err != nil {
+		log.Fatal(err)
+	}
+	if *shards > 1 && *fig != "sharded" {
+		log.Fatalf("-shards applies to -fig sharded only (the other figures run on the serial engine)")
 	}
 
 	if err := prof.Start(); err != nil {
@@ -126,8 +134,20 @@ func main() {
 		fmt.Println(experiments.RenderAblation(rows))
 		printed = true
 	}
+	if want("sharded") {
+		opts := experiments.ShardedScalingOptions{Jobs: *jobs}
+		if *shards > 1 {
+			opts.MaxShards = *shards
+		}
+		rows, err := experiments.ShardedScaling(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderShardedScaling(rows))
+		printed = true
+	}
 	if !printed {
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, sharded, or all)\n", *fig)
 		os.Exit(2)
 	}
 	if err := obs.Flush(); err != nil {

@@ -1,6 +1,6 @@
 // Command simlint runs the simulator's static-analysis suite
-// (internal/analysis): walltime, rawspin, maporder, virtualtime, and
-// seqadvance. It speaks the `go vet -vettool` protocol, so the full
+// (internal/analysis): walltime, rawspin, maporder, virtualtime,
+// seqadvance, and crossshard. It speaks the `go vet -vettool` protocol, so the full
 // toolchain integration is
 //
 //	go build -o bin/simlint ./cmd/simlint

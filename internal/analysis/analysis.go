@@ -25,6 +25,7 @@ func All() []*framework.Analyzer {
 		Maporder,
 		Virtualtime,
 		Seqadvance,
+		Crossshard,
 	}
 }
 

@@ -29,6 +29,11 @@ func TestSeqadvance(t *testing.T) {
 	analysistest.Run(t, "testdata", "seqadvance/sim", Seqadvance)
 }
 
+func TestCrossshard(t *testing.T) {
+	analysistest.Run(t, "testdata", "crossshard/sim", Crossshard)
+	analysistest.Run(t, "testdata", "crossshard/cthreads", Crossshard)
+}
+
 // TestSimlintClean runs the full suite over the module the way
 // `go vet -vettool=bin/simlint ./...` does: the tree must stay clean,
 // and every suppression must be well-formed (malformed directives are

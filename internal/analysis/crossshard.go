@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis/framework"
+)
+
+// crossshardShardedFields are the Sharded coordinator fields that carry
+// shard-owned state: the partition map, the per-(src,dst) mailboxes and
+// their delivery statistics, and the run latch. Concurrent shard
+// advances stay race-free only because these fields change exclusively
+// on the coordinator's own path — construction, the shard-local send,
+// the window-barrier merge, and the run driver.
+var crossshardShardedFields = map[string]bool{
+	"shards":    true,
+	"bounds":    true,
+	"owner":     true,
+	"outbox":    true,
+	"edges":     true,
+	"lookahead": true,
+	"workers":   true,
+	"ran":       true,
+}
+
+// crossshardMachineFields / crossshardEngineFields are the links that
+// tie a machine (and its engine) to its shard: set once at partition
+// time, read-only ever after — routing and deadlock reporting both key
+// off them.
+var crossshardMachineFields = map[string]bool{
+	"sharded": true,
+	"rank":    true,
+}
+
+var crossshardEngineFields = map[string]bool{
+	"rank": true,
+}
+
+// crossshardClusterFields / crossshardSystemFields are the
+// cthreads-layer equivalents: the shard-to-system table and the
+// back-link ForkPost resolves remote processors through.
+var crossshardClusterFields = map[string]bool{
+	"systems": true,
+}
+
+var crossshardSystemFields = map[string]bool{
+	"cluster": true,
+}
+
+// crossshardAllowed are the functions entitled to write shard-owned
+// state: partition construction (NewSharded, NewCluster), the
+// shard-local outbox append (send), the window-barrier mailbox merge
+// (deliver), and the run driver (Run). Everything else — including the
+// per-shard advance bodies and any future helper — must treat the
+// coordinator as read-only, or route through these.
+var crossshardAllowed = map[string]bool{
+	"NewSharded": true,
+	"NewCluster": true,
+	"send":       true,
+	"deliver":    true,
+	"Run":        true,
+}
+
+// Crossshard restricts writes to the sharded coordinator's state (and
+// the machine/engine/system fields linking a shard to it) to the shard
+// advance path and the window-barrier merge. Shards run concurrently
+// between barriers; a write to coordinator state from anywhere else is
+// either a data race or a back door past the deterministic mailbox
+// merge — both break the bit-for-bit serial-equivalence contract. Only
+// packages sim and cthreads can name these unexported fields, but the
+// check runs everywhere so fixtures and future layouts are covered.
+// Test files are exempt.
+var Crossshard = &framework.Analyzer{
+	Name: "crossshard",
+	Doc:  "restrict writes to shard-owned coordinator state to the shard advance path and window-barrier merge",
+	Run:  runCrossshard,
+}
+
+func runCrossshard(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if crossshardAllowed[fd.Name.Name] {
+				continue
+			}
+			checkCrossshardBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// crossshardField resolves an assignment target to a protected field
+// description ("Sharded.outbox", "Machine.rank"), or "" if the target
+// is not protected. Index and selector expressions unwrap all the way
+// down, so both s.outbox[src][dst] and s.edges[src][dst].Delivered
+// match: mutating an element (or a field of one) mutates the protected
+// structure.
+func crossshardField(pass *framework.Pass, lhs ast.Expr) string {
+	for {
+		lhs = ast.Unparen(lhs)
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			t := pass.TypesInfo.TypeOf(e.X)
+			if t == nil {
+				return ""
+			}
+			name := e.Sel.Name
+			switch {
+			case namedFrom(t, "sim", "Sharded") && crossshardShardedFields[name]:
+				return "Sharded." + name
+			case namedFrom(t, "sim", "Machine") && crossshardMachineFields[name]:
+				return "Machine." + name
+			case namedFrom(t, "sim", "Engine") && crossshardEngineFields[name]:
+				return "Engine." + name
+			case namedFrom(t, "cthreads", "Cluster") && crossshardClusterFields[name]:
+				return "Cluster." + name
+			case namedFrom(t, "cthreads", "System") && crossshardSystemFields[name]:
+				return "System." + name
+			}
+			lhs = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+func checkCrossshardBody(pass *framework.Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, field string) {
+		pass.Reportf(pos,
+			"write to %s outside the shard coordinator allowlist (%s is not one of NewSharded/NewCluster/send/deliver/Run): shard-owned state may change only on the shard advance path or the window-barrier merge", field, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if field := crossshardField(pass, lhs); field != "" {
+					report(lhs.Pos(), field)
+				}
+			}
+		case *ast.IncDecStmt:
+			if field := crossshardField(pass, n.X); field != "" {
+				report(n.X.Pos(), field)
+			}
+		case *ast.UnaryExpr:
+			// &s.outbox[i][j] escaping would allow unchecked writes.
+			if n.Op == token.AND {
+				if field := crossshardField(pass, n.X); field != "" {
+					report(n.X.Pos(), field+" (address taken)")
+				}
+			}
+		}
+		return true
+	})
+}

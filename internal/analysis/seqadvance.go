@@ -26,16 +26,19 @@ var seqadvanceMachineFields = map[string]bool{
 }
 
 // seqadvanceAllowed are the functions entitled to advance time/order
-// state: the engine's dispatch loops, the inline self-wakeup, event
-// scheduling, the module reservation path, and the spin fast-forward.
-// A partial re-implementation of the PR 3/4 fast paths anywhere else
-// would have to write these fields from a new function — and trips
-// this analyzer.
+// state: the engine's dispatch loops (including the sharded window
+// loop), the inline self-wakeup, event scheduling (including barrier
+// message delivery), the module reservation path, and the spin
+// fast-forward. A partial re-implementation of the PR 3/4 fast paths
+// anywhere else would have to write these fields from a new function —
+// and trips this analyzer.
 var seqadvanceAllowed = map[string]bool{
 	"advanceInline":   true,
 	"schedule":        true,
+	"scheduleMessage": true,
 	"Run":             true,
 	"RunFor":          true,
+	"runWindow":       true,
 	"fastForwardSpin": true,
 	"reserveAccess":   true,
 }
@@ -102,7 +105,7 @@ func protectedField(pass *framework.Pass, lhs ast.Expr) string {
 func checkSeqadvanceBody(pass *framework.Pass, fd *ast.FuncDecl) {
 	report := func(pos token.Pos, field string) {
 		pass.Reportf(pos,
-			"write to %s outside the engine allowlist (%s is not one of advanceInline/schedule/Run/RunFor/fastForwardSpin/reserveAccess): time and ordering state must advance only through the engine", field, fd.Name.Name)
+			"write to %s outside the engine allowlist (%s is not one of advanceInline/schedule/scheduleMessage/Run/RunFor/runWindow/fastForwardSpin/reserveAccess): time and ordering state must advance only through the engine", field, fd.Name.Name)
 	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {

@@ -1,0 +1,31 @@
+// Package cthreads is a crossshard fixture with stand-in Cluster and
+// System types carrying the shard-linkage field names.
+package cthreads
+
+type System struct {
+	cluster *Cluster
+}
+
+type Cluster struct {
+	systems []*System
+}
+
+// NewCluster is on the allowlist: construction wires the shard table
+// and back-links.
+func NewCluster(n int) *Cluster {
+	cl := &Cluster{systems: make([]*System, n)}
+	for i := range cl.systems {
+		sys := &System{}
+		sys.cluster = cl
+		cl.systems[i] = sys
+	}
+	return cl
+}
+
+func hackTable(cl *Cluster, sys *System) {
+	cl.systems[0] = sys // want `write to Cluster.systems outside the shard coordinator allowlist`
+	sys.cluster = nil   // want `write to System.cluster outside the shard coordinator allowlist`
+}
+
+// reads are always legal.
+func read(cl *Cluster) *System { return cl.systems[0] }

@@ -308,3 +308,36 @@ func JobsFlag(fs *flag.FlagSet) *int {
 	return fs.Int("j", runtime.GOMAXPROCS(0),
 		"parallel workers for independent sweep simulations (1 = serial; output is identical for any value)")
 }
+
+// ShardsFlag registers the shared shard-count flag for the
+// conservative-parallel sharded engine. With -shards N > 1 a big
+// simulated machine is partitioned into N contiguous node blocks that
+// advance concurrently between lookahead barriers; results are
+// byte-identical to -shards 1 for workloads built on the posted
+// cross-shard primitives.
+func ShardsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 1,
+		"partition the simulated machine into this many conservative-parallel shards (1 = serial engine; output is identical for any value)")
+}
+
+// ValidateShards rejects flag combinations the sharded engine cannot
+// honor. The tracer, virtual-time profiler, and decision ledger all
+// record one serial timeline — the same rule that forces experiment
+// sweeps serial when observed — so -shards > 1 combined with any of
+// them is an error rather than a silently different recording. tf and
+// obs may be nil for binaries that lack those flags.
+func ValidateShards(shards int, tf *Trace, obs *Observe) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	if shards == 1 {
+		return nil
+	}
+	if tf != nil && tf.Path != "" {
+		return fmt.Errorf("-shards %d cannot be combined with -trace: the tracer records one serial timeline (run with -shards 1)", shards)
+	}
+	if obs != nil && obs.Enabled() {
+		return fmt.Errorf("-shards %d cannot be combined with -profile-vt/-ledger: observers record one serial timeline (run with -shards 1)", shards)
+	}
+	return nil
+}

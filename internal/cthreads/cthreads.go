@@ -76,6 +76,11 @@ type System struct {
 	prof      *profile.Profiler
 	ledger    *core.Ledger
 	exitHooks []func(*Thread)
+
+	// cluster links the system to its Cluster when the machine is one
+	// shard of a sharded run; nil on a standalone system. Set only by
+	// NewCluster.
+	cluster *Cluster
 }
 
 // New creates a machine from cfg and a thread system on top of it, with one
@@ -185,6 +190,10 @@ func (s *System) Threads() []*Thread { return s.all }
 func (s *System) Fork(proc int, name string, fn func(t *Thread)) *Thread {
 	if proc < 0 || proc >= len(s.procs) {
 		panic(fmt.Sprintf("cthreads: fork %q on nonexistent processor %d", name, proc))
+	}
+	if sh := s.mach.Sharded(); sh != nil && sh.RankOf(proc) != s.mach.ShardRank() {
+		panic(fmt.Sprintf("cthreads: fork %q on processor %d, owned by shard %d not this system's shard %d (use Cluster.Fork or Thread.ForkPost)",
+			name, proc, sh.RankOf(proc), s.mach.ShardRank()))
 	}
 	p := s.procs[proc]
 	t := &Thread{sys: s, id: len(s.all), name: name, proc: p, fn: fn, blockedAt: -1}

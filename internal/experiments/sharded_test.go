@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func shardedTestOptions() ShardedScalingOptions {
+	return ShardedScalingOptions{
+		Machine: sim.Config{Nodes: 16, Seed: 7},
+		Rounds:  3,
+	}
+}
+
+// TestShardedSweepDeterminism renders the sharded-scaling experiment
+// across the full jobs × workers grid and demands byte-identical
+// output: neither the sweep fan-out (host goroutines running different
+// shard counts concurrently) nor the per-run worker pool (host
+// goroutines advancing shards of one run concurrently) may leak into
+// results. This is the experiments-level face of the engine's
+// determinism contract.
+func TestShardedSweepDeterminism(t *testing.T) {
+	var want string
+	for _, jobs := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 2, 4} {
+			opts := shardedTestOptions()
+			opts.Jobs = jobs
+			opts.Workers = workers
+			rows, err := ShardedScaling(opts)
+			if err != nil {
+				t.Fatalf("jobs=%d workers=%d: %v", jobs, workers, err)
+			}
+			got := RenderShardedScaling(rows)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("jobs=%d workers=%d rendered differently:\n--- first\n%s--- got\n%s",
+					jobs, workers, want, got)
+			}
+		}
+	}
+	if want == "" {
+		t.Fatal("no output produced")
+	}
+}
+
+// TestShardedScalingInvariants checks the row-level contract directly:
+// the grid covers shards 1,2,4,8; virtual time, busy time, wakeups,
+// preemptions, and the result checksum are identical in every row; the
+// serial row has zero cross-shard messages while every sharded row has
+// real traffic.
+func TestShardedScalingInvariants(t *testing.T) {
+	rows, err := ShardedScaling(shardedTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want rows for shards 1,2,4,8, got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if want := 1 << i; r.Shards != want {
+			t.Errorf("row %d: shards = %d, want %d", i, r.Shards, want)
+		}
+		if r.SimTime != rows[0].SimTime || r.Busy != rows[0].Busy ||
+			r.Wakeups != rows[0].Wakeups || r.Preempt != rows[0].Preempt ||
+			r.Checksum != rows[0].Checksum {
+			t.Errorf("row %d (%d shards) diverged from serial: %+v vs %+v",
+				i, r.Shards, r, rows[0])
+		}
+	}
+	if rows[0].CrossMsgs != 0 {
+		t.Errorf("serial row reports %d cross-shard messages, want 0", rows[0].CrossMsgs)
+	}
+	for _, r := range rows[1:] {
+		if r.CrossMsgs == 0 {
+			t.Errorf("%d shards: no cross-shard messages — windows never engaged", r.Shards)
+		}
+	}
+	out := RenderShardedScaling(rows)
+	if !strings.Contains(out, "cross-msgs") || !strings.Contains(out, "checksum") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}

@@ -89,6 +89,57 @@ func (c *Cell) CompareAndSwap(a Accessor, old, new uint64) bool {
 	return true
 }
 
+// Posted operations are one-way remote references: the accessor's
+// processor is occupied for the wire latency, and the operation lands at
+// the cell's memory module when the reference completes — the sender
+// never observes the result. They are the remote-access form that
+// shards: a synchronous Load/Store reads remote state *now* (zero
+// lookahead, legal only within the owning shard), while a posted
+// operation is a message with at least one full reference latency of
+// lookahead, so Machine.Route can carry it across a window barrier with
+// semantics identical to the serial engine. On a standalone machine the
+// three Post methods behave exactly the same way (the landing is an
+// ordinary engine event), so workloads written with them produce
+// byte-identical histories at every shard count.
+
+// post routes one posted reference: wire latency d from the accessor to
+// the cell's node, module booking and the mutation at the landing
+// instant, the accessor occupied for d. The route is issued from the
+// *accessor's* machine — the caller's own shard, whose outbox is the
+// only one the caller may touch — while the landing runs on the cell's
+// owner and books the module there.
+func (c *Cell) post(a Accessor, extra Time, apply func()) {
+	from := a.Node()
+	src := c.m
+	if sh := c.m.sharded; sh != nil {
+		src = sh.MachineFor(from)
+	}
+	d := c.m.AccessCost(from, c.node) + extra
+	src.Route(from, c.node, d, func() {
+		c.m.reserveAccess(from, c.node, extra)
+		apply()
+	})
+	a.Advance(d)
+}
+
+// PostStore writes v to the cell one reference latency from now without
+// waiting for completion, charging the accessor the plain reference cost.
+func (c *Cell) PostStore(a Accessor, v uint64) {
+	c.post(a, 0, func() { c.v = v })
+}
+
+// PostOr ORs mask into the cell one read-modify-write latency from now
+// without waiting for completion or observing the previous value.
+func (c *Cell) PostOr(a Accessor, mask uint64) {
+	c.post(a, c.m.cfg.AtomicExtra, func() { c.v |= mask })
+}
+
+// PostAdd adds delta (two's-complement) to the cell one read-modify-write
+// latency from now without waiting for completion or observing the sum.
+func (c *Cell) PostAdd(a Accessor, delta int64) {
+	c.post(a, c.m.cfg.AtomicExtra, func() { c.v = uint64(int64(c.v) + delta) })
+}
+
 // Peek reads the cell without charging time. For setup and assertions only;
 // simulated code paths must use Load.
 func (c *Cell) Peek() uint64 { return c.v }

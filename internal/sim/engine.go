@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 )
 
 // ErrDeadlock is returned by Engine.Run when the event queue drains while
@@ -12,25 +14,41 @@ var ErrDeadlock = errors.New("sim: deadlock: event queue empty with parked conte
 // errKilled is the panic value used to unwind a Coro during Engine shutdown.
 var errKilled = errors.New("sim: coro killed at engine shutdown")
 
-// event is a scheduled occurrence. Events at equal times fire in scheduling
-// order (seq breaks ties), which keeps runs deterministic.
+// event is a scheduled occurrence. Events at equal times fire in
+// schedule-time order (at — the virtual instant the event was scheduled),
+// then scheduling order (seq breaks the remaining ties), which keeps runs
+// deterministic.
+//
+// On a single engine the (when, at, seq) order is provably identical to
+// the old (when, seq) order: the clock never moves backwards, so schedule
+// calls see non-decreasing now, and seq increments on every schedule —
+// hence at1 < at2 implies seq1 < seq2 and the extra key changes nothing.
+// What it buys is sharding: a cross-shard message delivered at a window
+// barrier carries the virtual time its send was scheduled at, and the at
+// key slots it among the destination's own events exactly where the
+// serial engine's global seq would have — see Sharded and DESIGN.md
+// "Sharded execution legality".
 //
 // The common case — waking a sleeping, starting, or unparked Coro — carries
 // the coro directly in coro and leaves fn nil, so the schedule-dispatch
 // cycle allocates no closure. fn is only used for engine-level callbacks
-// (At/After).
+// (At/After) and barrier-delivered messages.
 type event struct {
 	when Time
+	at   Time
 	seq  uint64
 	fn   func()
 	coro *Coro
 }
 
-// less orders events by (when, seq); seq is unique, so this is a total
-// order and any correct heap pops the exact same sequence.
+// less orders events by (when, at, seq); seq is unique, so this is a
+// total order and any correct heap pops the exact same sequence.
 func (ev *event) less(other *event) bool {
 	if ev.when != other.when {
 		return ev.when < other.when
+	}
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
 	return ev.seq < other.seq
 }
@@ -135,8 +153,16 @@ type Engine struct {
 	spinBatchedIters uint64
 	// limited/limit bound inline time advancement to RunFor's window, so a
 	// coro cannot run past the deadline the engine loop would stop at.
+	// Sharded window runs reuse the same bound, which is what keeps the
+	// spin fast-forward shard-local: a commit can never cross the window
+	// barrier.
 	limited bool
 	limit   Time
+
+	// rank is the engine's shard rank when it runs under a Sharded
+	// coordinator, -1 on a standalone serial engine. Used only for
+	// diagnostics (deadlock reports name the shard).
+	rank int
 
 	running bool
 	stopped bool
@@ -150,6 +176,7 @@ func NewEngine() *Engine {
 		yield:   make(chan struct{}),
 		live:    make(map[*Coro]struct{}),
 		noBatch: noBatchDefault.Load(),
+		rank:    -1,
 	}
 }
 
@@ -192,16 +219,37 @@ func (e *Engine) advanceInline(when Time) {
 	e.now = when
 }
 
-// schedule stamps ev with the (clamped) time and the next sequence number
-// and pushes it. Scheduling in the past is rounded up to the present.
+// schedule stamps ev with the (clamped) time, the schedule instant, and
+// the next sequence number and pushes it. Scheduling in the past is
+// rounded up to the present.
 func (e *Engine) schedule(when Time, ev event) {
 	if when < e.now {
 		when = e.now
 	}
 	e.seq++
-	ev.when, ev.seq = when, e.seq
+	ev.when, ev.at, ev.seq = when, e.now, e.seq
 	e.trace("schedule")
 	e.queue.push(ev)
+}
+
+// scheduleMessage pushes a barrier-delivered cross-shard message: an
+// event whose schedule instant at is the virtual time the *sending*
+// shard issued it, not the current clock. The (when, at, seq) order then
+// places the message exactly where the serial engine — which would have
+// scheduled the same event at the sender's instant — would fire it
+// relative to this shard's own events. Only the Sharded coordinator's
+// barrier may call this; delivery order across messages is fixed by the
+// mailbox merge, which assigns seq in (when, at, src rank, send order).
+func (e *Engine) scheduleMessage(when, at Time, fn func()) {
+	if e.running {
+		panic("sim: scheduleMessage while the engine is running (barrier delivery only)")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: cross-shard message arrives at %s, before shard %d's clock %s (lookahead violated)",
+			when, e.rank, e.now))
+	}
+	e.seq++
+	e.queue.push(event{when: when, at: at, seq: e.seq, fn: fn})
 }
 
 // At schedules fn to run at the given absolute virtual time. Scheduling in
@@ -279,13 +327,52 @@ func (e *Engine) Run() error {
 
 	err := e.failure
 	if err == nil && !e.stopped && len(e.live) > 0 {
-		err = fmt.Errorf("%w (%d parked)", ErrDeadlock, len(e.live))
+		err = e.deadlockError()
 	}
 	e.shutdown()
 	if e.failure != nil && err == nil {
 		err = e.failure
 	}
 	return err
+}
+
+// deadlockError builds the queue-drained-with-parked-coros report. It
+// names the parked coros (in spawn order, capped) and — when the engine
+// runs as one shard of a Sharded machine — the shard rank, so a stall in
+// a sharded run points at the right heap instead of implying one global
+// queue. The Sharded coordinator extends this with the mailbox-edge
+// summary only it can see.
+func (e *Engine) deadlockError() error {
+	return fmt.Errorf("%w (%s)", ErrDeadlock, e.parkedReport())
+}
+
+// parkedReport lists the live (parked) coros by name in spawn order,
+// prefixed with the shard rank when the engine is a shard.
+func (e *Engine) parkedReport() string {
+	type entry struct {
+		id   uint64
+		name string
+	}
+	parked := make([]entry, 0, len(e.live))
+	//simlint:allow maporder -- entries are collected then sorted by spawn id; output is iteration-order independent
+	for c := range e.live {
+		parked = append(parked, entry{c.id, c.name})
+	}
+	sort.Slice(parked, func(i, j int) bool { return parked[i].id < parked[j].id })
+	const maxNames = 8
+	names := make([]string, 0, maxNames+1)
+	for i, p := range parked {
+		if i == maxNames {
+			names = append(names, fmt.Sprintf("… %d more", len(parked)-maxNames))
+			break
+		}
+		names = append(names, p.name)
+	}
+	where := ""
+	if e.rank >= 0 {
+		where = fmt.Sprintf("shard %d: ", e.rank)
+	}
+	return fmt.Sprintf("%s%d parked: %s", where, len(parked), strings.Join(names, ", "))
 }
 
 // RunFor runs events until the clock would pass now+d, leaving later events
@@ -322,12 +409,53 @@ func (e *Engine) RunFor(d Time) error {
 		return nil
 	}
 	if e.queue.len() == 0 && len(e.live) > 0 {
-		return fmt.Errorf("%w (%d parked)", ErrDeadlock, len(e.live))
+		return e.deadlockError()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 	return nil
+}
+
+// runWindow executes events strictly before end: the shard-side half of
+// one Sharded window. Unlike Run it performs no shutdown and reports no
+// deadlock — a drained queue here only means this shard is waiting on
+// cross-shard messages, which the coordinator's barrier may yet deliver;
+// only the coordinator can see that every queue is dry. Inline
+// advancement and spin fast-forwards are bounded to end-1 through the
+// same limited/limit mechanism RunFor uses, so no coro can commit time
+// at or past the barrier. The clock is left at the last fired event (not
+// advanced to end): the next window's start is computed from queue
+// heads, and a shard that fired nothing keeps its old clock.
+func (e *Engine) runWindow(end Time) error {
+	if e.running {
+		return errors.New("sim: Engine.runWindow called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	e.limited, e.limit = true, end-1
+	defer func() { e.limited = false }()
+	for e.queue.len() > 0 && !e.stopped && e.failure == nil {
+		if e.queue.a[0].when >= end {
+			break
+		}
+		ev := e.queue.pop()
+		e.now = ev.when
+		e.trace("event")
+		e.fire(&ev)
+	}
+	return e.failure
+}
+
+// nextEventTime reports the earliest pending event's time, or false when
+// the queue is empty. The Sharded coordinator uses it between windows
+// (never while the engine runs) to pick the next global window start.
+func (e *Engine) nextEventTime() (Time, bool) {
+	if e.queue.len() == 0 {
+		return 0, false
+	}
+	return e.queue.a[0].when, true
 }
 
 // shutdown unwinds any coros that are still parked by resuming them with

@@ -104,6 +104,13 @@ type Machine struct {
 	cfg Config
 	rng *RNG
 
+	// sharded/rank link the machine to a Sharded coordinator when it is
+	// one shard of a partitioned big machine: rank is the shard index,
+	// and sharded routes cross-shard events. Both stay zero/nil on a
+	// standalone machine. Set only by NewSharded.
+	sharded *Sharded
+	rank    int
+
 	// moduleFree is, per node, when that memory module finishes its
 	// currently queued accesses (only used when ModuleService > 0).
 	moduleFree []Time
@@ -206,4 +213,39 @@ type Accessor interface {
 // InstrCost returns the cost of n abstract instruction steps.
 func (m *Machine) InstrCost(n int) Time {
 	return Time(n) * m.cfg.Instr
+}
+
+// Sharded returns the coordinator this machine is one shard of, or nil
+// on a standalone machine.
+func (m *Machine) Sharded() *Sharded { return m.sharded }
+
+// ShardRank returns the machine's shard index under a Sharded
+// coordinator, 0 on a standalone machine.
+func (m *Machine) ShardRank() int { return m.rank }
+
+// Route schedules fn to run after delay in the context that owns memory
+// node to, as seen from node from. On a standalone machine (and for a
+// destination inside the caller's own shard) this is exactly
+// Engine.After. When from and to live on different shards of a Sharded
+// machine, the call becomes a cross-shard message: it is buffered in the
+// source shard's outbox and delivered to the owner's event queue at the
+// next window barrier, carrying the send instant so it fires in exactly
+// the (when, at, seq) position the serial engine would have used. The
+// delay of a cross-shard route must be at least Sharded.Lookahead — the
+// window bound derived from the latency table — or Route panics; every
+// physical cross-node interaction (remote reference, wakeup) satisfies
+// this by construction.
+//
+// Route must be called from the machine that from executes on (the
+// caller's own shard): the buffered outbox is shard-private state.
+func (m *Machine) Route(from, to int, delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	sh := m.sharded
+	if sh == nil || sh.RankOf(to) == m.rank {
+		m.eng.After(delay, fn)
+		return
+	}
+	sh.send(m, to, delay, fn)
 }

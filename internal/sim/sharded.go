@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a conservatively parallel partition of one big simulated
+// machine: the node space is split into contiguous shards, each owning
+// its processors, its memory modules, a private event queue, and a
+// private coroutine set. Shards advance concurrently inside windows
+// bounded by the minimum cross-shard communication latency (the
+// lookahead), and exchange cross-shard events — posted remote
+// references, cross-node wakeups, migrations — at window barriers
+// through per-(src,dst) mailboxes.
+//
+// The legality argument is the spin fast-forward's (DESIGN.md) applied
+// one level up. Any physical interaction between nodes on different
+// shards takes at least Lookahead of virtual time on the wire, so an
+// event fired at t can influence another shard no earlier than
+// t+Lookahead. A window [T, T+Lookahead) — T the global minimum pending
+// event time — is therefore private to each shard: nothing a peer does
+// inside the window can land inside it. Messages buffered during the
+// window are merged at the barrier in (when, at, src rank, send order)
+// and enter the owner's queue through Engine.scheduleMessage, which
+// preserves the sender's schedule instant; the engine's (when, at, seq)
+// event order then fires them in exactly the position the serial
+// engine's global sequence numbering would have. The one history the
+// order cannot reconstruct is a tie in both when and at between events
+// born on different shards — workloads below the latency floor of the
+// machine cannot produce one, and the differential suites assert
+// byte-identical metrics for every shard count on everything in-tree.
+//
+// Determinism does not depend on the worker count: within a window
+// shards touch only their own state, and the barrier merge is a fixed
+// total order. Sharded runs with any Workers value produce the same
+// history, byte for byte.
+type Sharded struct {
+	cfg       Config
+	lookahead Time
+	workers   int
+
+	// shards[i] is the machine owning nodes [bounds[i], bounds[i+1]).
+	shards []*Machine
+	bounds []int
+	// owner[n] is the shard rank owning node n.
+	owner []int
+
+	// outbox[src][dst] buffers messages sent by shard src to shard dst
+	// during the current window. Written only by src's shard while it
+	// advances (shard-private), drained only at the barrier.
+	outbox [][][]message
+
+	// edges[src][dst] accumulates delivery diagnostics per mailbox edge,
+	// written only at the barrier. Deadlock reports use them to show
+	// where cross-shard traffic last flowed.
+	edges [][]edgeStat
+
+	// stop requests Run return at the next barrier. Atomic because any
+	// goroutine may ask while windows are in flight.
+	stop atomic.Bool
+
+	ran bool
+}
+
+// message is one buffered cross-shard event: fire fn at when on the
+// destination shard, ordered as if scheduled at the sender's instant at.
+type message struct {
+	when Time
+	at   Time
+	fn   func()
+}
+
+// edgeStat records per-(src,dst) mailbox traffic.
+type edgeStat struct {
+	// Delivered counts messages handed to the destination shard.
+	Delivered uint64
+	// Last is the virtual arrival time of the most recent delivery.
+	Last Time
+}
+
+// ShardOptions configures a Sharded machine.
+type ShardOptions struct {
+	// Shards is the number of partitions (default 1). Nodes are split
+	// into contiguous blocks: shard i owns [i·N/S, (i+1)·N/S).
+	Shards int
+	// Workers caps how many shards advance concurrently inside a window
+	// (default GOMAXPROCS). Purely a throughput knob: the history is
+	// identical for every value.
+	Workers int
+	// Lookahead overrides the safe-window bound. The default — the
+	// minimum cross-shard interaction latency, min(RemoteAccess, Wakeup)
+	// from the Config — is the largest provably safe value; overriding
+	// is for tests that want to stress many tiny windows. A cross-shard
+	// Route with delay below the lookahead panics.
+	Lookahead Time
+}
+
+// NewSharded partitions a machine described by cfg into shards. Each
+// shard's Machine spans the full node-id space (cells and threads name
+// nodes globally) but must only be driven from code running on that
+// shard; MachineFor selects the owner for a node. With Shards <= 1 the
+// result is a single serial shard and Run degenerates to a plain
+// Engine.Run.
+func NewSharded(cfg Config, opts ShardOptions) *Sharded {
+	cfg = cfg.withDefaults()
+	s := opts.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > cfg.Nodes {
+		panic(fmt.Sprintf("sim: %d shards over %d nodes (need at least one node per shard)", s, cfg.Nodes))
+	}
+	w := opts.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	la := opts.Lookahead
+	if la == 0 {
+		la = cfg.RemoteAccess
+		if cfg.Wakeup < la {
+			la = cfg.Wakeup
+		}
+	}
+	if la <= 0 {
+		panic(fmt.Sprintf("sim: sharded lookahead must be positive, got %v", la))
+	}
+	sh := &Sharded{
+		cfg:       cfg,
+		lookahead: la,
+		workers:   w,
+		shards:    make([]*Machine, s),
+		bounds:    make([]int, s+1),
+		owner:     make([]int, cfg.Nodes),
+		outbox:    make([][][]message, s),
+		edges:     make([][]edgeStat, s),
+	}
+	for i := 0; i < s; i++ {
+		m := NewMachine(cfg)
+		m.sharded = sh
+		m.rank = i
+		m.eng.rank = i
+		sh.shards[i] = m
+		sh.bounds[i] = i * cfg.Nodes / s
+		sh.outbox[i] = make([][]message, s)
+		sh.edges[i] = make([]edgeStat, s)
+	}
+	sh.bounds[s] = cfg.Nodes
+	for i := 0; i < s; i++ {
+		for n := sh.bounds[i]; n < sh.bounds[i+1]; n++ {
+			sh.owner[n] = i
+		}
+	}
+	return sh
+}
+
+// Shards reports the number of partitions.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Lookahead reports the safe-window bound.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// Config returns the (defaulted) machine configuration.
+func (s *Sharded) Config() Config { return s.cfg }
+
+// Machine returns shard i's machine.
+func (s *Sharded) Machine(i int) *Machine { return s.shards[i] }
+
+// MachineFor returns the machine owning node n. Cells living on n and
+// threads executing on n must be created on (and driven from) this
+// machine.
+func (s *Sharded) MachineFor(n int) *Machine { return s.shards[s.owner[n]] }
+
+// NodeRange reports the contiguous [lo, hi) node block shard i owns.
+func (s *Sharded) NodeRange(i int) (lo, hi int) { return s.bounds[i], s.bounds[i+1] }
+
+// RankOf returns the shard rank owning node n.
+func (s *Sharded) RankOf(n int) int { return s.owner[n] }
+
+// EdgeStats returns delivery diagnostics for the (src,dst) mailbox edge.
+func (s *Sharded) EdgeStats(src, dst int) (delivered uint64, last Time) {
+	st := s.edges[src][dst]
+	return st.Delivered, st.Last
+}
+
+// Stop makes Run return after the windows in flight complete. Safe from
+// any goroutine; simulated code stopping its own shard should call the
+// local Engine.Stop, which the coordinator also honours at the barrier.
+func (s *Sharded) Stop() {
+	s.stop.Store(true)
+	if len(s.shards) == 1 {
+		s.shards[0].eng.Stop()
+	}
+}
+
+// send buffers one cross-shard event from src's shard to the shard
+// owning node to. Called only via Machine.Route, from code running on
+// src's shard — the outbox row is shard-private during a window.
+func (s *Sharded) send(src *Machine, to int, delay Time, fn func()) {
+	if delay < s.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard route %d→%d with delay %v below lookahead %v: no physical interaction is that fast, and the window bound would be violated",
+			src.rank, s.owner[to], delay, s.lookahead))
+	}
+	now := src.eng.Now()
+	dst := s.owner[to]
+	s.outbox[src.rank][dst] = append(s.outbox[src.rank][dst], message{when: now + delay, at: now, fn: fn})
+}
+
+// Run executes the partitioned simulation to completion: repeatedly
+// pick the global minimum pending event time T, advance every shard
+// with work before T+Lookahead concurrently, and exchange mailboxes at
+// the barrier. It returns the first shard failure (lowest rank wins,
+// deterministically), or a deadlock error naming each stalled shard's
+// parked coros and the mailbox edges, when every queue drains with
+// coros still parked. Like Engine.Run it winds down all remaining coros
+// before returning, and may be called once per Sharded.
+func (s *Sharded) Run() error {
+	if s.ran {
+		return fmt.Errorf("sim: Sharded.Run called twice")
+	}
+	s.ran = true
+	if len(s.shards) == 1 {
+		// One shard is the serial engine, bit for bit and cycle for
+		// cycle: no windows, no barriers, no bounds on inline commits.
+		return s.shards[0].eng.Run()
+	}
+	err := s.loop()
+	for _, m := range s.shards {
+		m.eng.shutdown()
+	}
+	if err == nil {
+		for _, m := range s.shards {
+			if m.eng.failure != nil {
+				err = m.eng.failure
+				break
+			}
+		}
+	}
+	return err
+}
+
+// loop is Run's window loop, split out so Run can always wind down.
+func (s *Sharded) loop() error {
+	for _, m := range s.shards {
+		m.eng.stopped = false
+	}
+	runnable := make([]*Engine, 0, len(s.shards))
+	for {
+		if s.stop.Load() {
+			return nil
+		}
+		// T = global minimum pending event time.
+		var t Time
+		any := false
+		for _, m := range s.shards {
+			if h, ok := m.eng.nextEventTime(); ok && (!any || h < t) {
+				t, any = h, true
+			}
+		}
+		if !any {
+			live := 0
+			for _, m := range s.shards {
+				live += len(m.eng.live)
+			}
+			if live > 0 {
+				return s.deadlockError()
+			}
+			return nil
+		}
+		end := t + s.lookahead
+
+		// Advance every shard with work inside the window. Shards whose
+		// next event is at or past end would fire nothing; skipping them
+		// is pure throughput, their queues are untouched either way.
+		runnable = runnable[:0]
+		for _, m := range s.shards {
+			if h, ok := m.eng.nextEventTime(); ok && h < end {
+				runnable = append(runnable, m.eng)
+			}
+		}
+		s.runShards(runnable, end)
+
+		for _, m := range s.shards {
+			if m.eng.failure != nil {
+				return m.eng.failure
+			}
+		}
+		for _, m := range s.shards {
+			if m.eng.stopped {
+				return nil
+			}
+		}
+		s.deliver()
+	}
+}
+
+// runShards runs one window on each engine in es, concurrently up to
+// the worker cap. Shards share no state inside a window, so scheduling
+// order is irrelevant to the history.
+func (s *Sharded) runShards(es []*Engine, end Time) {
+	if len(es) == 1 || s.workers == 1 {
+		for _, e := range es {
+			e.runWindow(end) //nolint:errcheck // recorded in e.failure, read at the barrier
+		}
+		return
+	}
+	w := s.workers
+	if w > len(es) {
+		w = len(es)
+	}
+	var wg sync.WaitGroup
+	work := make(chan *Engine)
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for e := range work {
+				e.runWindow(end) //nolint:errcheck // recorded in e.failure, read at the barrier
+			}
+		}()
+	}
+	for _, e := range es {
+		work <- e
+	}
+	close(work)
+	wg.Wait()
+}
+
+// deliver drains every mailbox at the window barrier. For each
+// destination the inbound messages are merged in (when, at, src rank,
+// send order): outboxes are concatenated in src-rank order and stably
+// sorted by (when, at), so ties across sources resolve by rank and ties
+// within a source keep send order. Engine.scheduleMessage then assigns
+// destination sequence numbers in that merged order, completing the
+// (when, at, seq) key that slots each message exactly where the serial
+// engine would have fired it.
+func (s *Sharded) deliver() {
+	n := len(s.shards)
+	var merged []message
+	for dst := 0; dst < n; dst++ {
+		merged = merged[:0]
+		for src := 0; src < n; src++ {
+			box := s.outbox[src][dst]
+			if len(box) == 0 {
+				continue
+			}
+			merged = append(merged, box...)
+			st := &s.edges[src][dst]
+			st.Delivered += uint64(len(box))
+			if last := box[len(box)-1].when; last > st.Last {
+				st.Last = last
+			}
+			for i := range box {
+				box[i] = message{}
+			}
+			s.outbox[src][dst] = box[:0]
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].when != merged[j].when {
+				return merged[i].when < merged[j].when
+			}
+			return merged[i].at < merged[j].at
+		})
+		e := s.shards[dst].eng
+		for _, msg := range merged {
+			e.scheduleMessage(msg.when, msg.at, msg.fn)
+		}
+	}
+}
+
+// deadlockError reports a global stall: every shard's queue is dry and
+// no mailbox holds a message, yet coros remain parked. It names each
+// stalled shard's parked coros (Engine.parkedReport) and summarizes the
+// mailbox edges so the stalled communication path is visible — the edge
+// whose Last time stopped advancing is the one whose producer went
+// quiet.
+func (s *Sharded) deadlockError() error {
+	var parts []string
+	for _, m := range s.shards {
+		if len(m.eng.live) > 0 {
+			parts = append(parts, m.eng.parkedReport())
+		}
+	}
+	var edges []string
+	for src := range s.edges {
+		for dst, st := range s.edges[src] {
+			if st.Delivered > 0 {
+				edges = append(edges, fmt.Sprintf("%d→%d ×%d last %v", src, dst, st.Delivered, st.Last))
+			}
+		}
+	}
+	const maxEdges = 12
+	if len(edges) > maxEdges {
+		edges = append(edges[:maxEdges], fmt.Sprintf("… %d more", len(edges)-maxEdges))
+	}
+	edgeNote := "no cross-shard messages were ever delivered"
+	if len(edges) > 0 {
+		edgeNote = "mailbox edges: " + strings.Join(edges, ", ")
+	}
+	return fmt.Errorf("%w (%s; %s)", ErrDeadlock, strings.Join(parts, "; "), edgeNote)
+}

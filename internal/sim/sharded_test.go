@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardedTopo abstracts "one big machine" over its two implementations:
+// a plain serial Machine, or a Sharded partition of the same Config.
+// Workloads built on it never see which one they run on — that is the
+// whole claim under test.
+type shardedTopo struct {
+	machineFor func(node int) *Machine
+	machines   []*Machine
+	run        func() error
+}
+
+func serialTopo(cfg Config) *shardedTopo {
+	m := NewMachine(cfg)
+	return &shardedTopo{
+		machineFor: func(int) *Machine { return m },
+		machines:   []*Machine{m},
+		run:        m.Engine().Run,
+	}
+}
+
+func shardedTopoOf(cfg Config, shards, workers int) *shardedTopo {
+	sh := NewSharded(cfg, ShardOptions{Shards: shards, Workers: workers})
+	return &shardedTopo{
+		machineFor: sh.MachineFor,
+		machines:   sh.shards,
+		run:        sh.Run,
+	}
+}
+
+func (tp *shardedTopo) setModes(batched, inline bool) {
+	for _, m := range tp.machines {
+		m.Engine().SetBatchedSpins(batched)
+		m.Engine().SetInlineWakeups(inline)
+	}
+}
+
+// ringParams shapes one differential ring workload.
+type ringParams struct {
+	seed   uint64
+	nodes  int
+	rounds int
+	svc    Time // ModuleService
+	noise  int  // empty timer events on shard 0 that cut windows short
+}
+
+// ringObs is everything observable the ring produced. Identical params
+// must yield deeply equal ringObs at every (shards, workers, batched,
+// inline) combination.
+type ringObs struct {
+	workerLog [][]string // per-worker event log, stamped with the worker's own clock
+	finish    []Time     // per-worker completion time
+	busy      []Time     // per-worker accrued busy time
+	flags     []uint64   // final flag cell values
+	hub       uint64     // final hub counter (posted adds from every worker)
+	accesses  []uint64   // per-node module accesses, read from the owner shard
+	qdelay    []Time     // per-node module queue delay, read from the owner shard
+	err       string
+}
+
+// runShardedRing drives a token ring over posted cells: worker n (one
+// per node) spins on its local flag cell for token value r·N+n+1, does
+// a random slice of local work, posts the incremented token to the next
+// node's flag (a cross-shard message whenever the ring crosses a
+// partition boundary), and posts an increment to a shared hub counter
+// on node 0. All cross-node traffic is posted — exactly the access
+// shape the sharded engine makes legal — so the same code runs
+// unchanged on a serial machine and on any partition of it.
+//
+// Per-worker randomness is seeded from (seed, node) only, never from
+// shard layout, and the work draws span milliseconds against sub-µs
+// latencies, so distinct workers essentially never tie in (when, at) —
+// the one corner the merge order cannot reconstruct (see Sharded).
+func runShardedRing(tb testing.TB, p ringParams, tp *shardedTopo, batched, inline bool) ringObs {
+	tb.Helper()
+	tp.setModes(batched, inline)
+	n := p.nodes
+	obs := ringObs{
+		workerLog: make([][]string, n),
+		finish:    make([]Time, n),
+		busy:      make([]Time, n),
+	}
+	flags := make([]*Cell, n)
+	for i := 0; i < n; i++ {
+		flags[i] = tp.machineFor(i).NewCell(i, fmt.Sprintf("flag%d", i), 0)
+	}
+	hub := tp.machineFor(0).NewCell(0, "hub", 0)
+	for i := 0; i < p.noise; i++ {
+		tp.machineFor(0).Engine().At(Time(i+1)*613*Microsecond, func() {})
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		m := tp.machineFor(i)
+		r := NewRNG(p.seed*1_000_003 + uint64(i)*7919 + 1)
+		a := &spinAccessor{node: i}
+		logf := func(c *Coro, format string, args ...any) {
+			obs.workerLog[i] = append(obs.workerLog[i],
+				fmt.Sprintf("%d ", c.Now())+fmt.Sprintf(format, args...))
+		}
+		c := m.Engine().Spawn(fmt.Sprintf("w%d", i), func(c *Coro) {
+			a.c = c
+			flag := flags[i]
+			next := flags[(i+1)%n]
+			for round := 0; round < p.rounds; round++ {
+				want := uint64(round*n + i + 1)
+				pause := Time(200 + r.Intn(900))
+				iters, _ := c.SpinUntil(a, &SpinSpec{
+					ProbeCell: flag, ProbeAtomic: i%2 == 0,
+					Probe:     func() bool { return flag.Peek() == want },
+					PauseCost: func() Time { return pause },
+					MaxIters:  SpinUnbounded,
+				})
+				logf(c, "r%d got token after %d probes", round, iters)
+				a.Advance(Time(1+r.Intn(300)) * Microsecond)
+				hub.PostAdd(a, 1)
+				next.PostStore(a, want+1)
+				logf(c, "r%d passed", round)
+			}
+			obs.finish[i] = c.Now()
+		})
+		c.Start(Time(i) * 2 * Millisecond)
+		defer func(i int) { obs.busy[i] = a.busy }(i)
+	}
+	flags[0].Poke(1)
+	if err := tp.run(); err != nil {
+		obs.err = err.Error()
+	}
+	obs.flags = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		obs.flags[i] = flags[i].Peek()
+		m := tp.machineFor(i)
+		obs.accesses = append(obs.accesses, m.ModuleAccesses(i))
+		obs.qdelay = append(obs.qdelay, m.ModuleQueueDelay(i))
+	}
+	obs.hub = hub.Peek()
+	return obs
+}
+
+// diffRingObs compares a variant run against the serial reference.
+func diffRingObs(t *testing.T, name string, ref, got ringObs) {
+	t.Helper()
+	if ref.err != got.err {
+		t.Errorf("%s: err %q, want %q", name, got.err, ref.err)
+	}
+	if got.hub != ref.hub {
+		t.Errorf("%s: hub %d, want %d", name, got.hub, ref.hub)
+	}
+	if !reflect.DeepEqual(ref.flags, got.flags) {
+		t.Errorf("%s: flags %v, want %v", name, got.flags, ref.flags)
+	}
+	if !reflect.DeepEqual(ref.finish, got.finish) {
+		t.Errorf("%s: finish %v, want %v", name, got.finish, ref.finish)
+	}
+	if !reflect.DeepEqual(ref.busy, got.busy) {
+		t.Errorf("%s: busy %v, want %v", name, got.busy, ref.busy)
+	}
+	if !reflect.DeepEqual(ref.accesses, got.accesses) {
+		t.Errorf("%s: module accesses %v, want %v", name, got.accesses, ref.accesses)
+	}
+	if !reflect.DeepEqual(ref.qdelay, got.qdelay) {
+		t.Errorf("%s: module queue delay %v, want %v", name, got.qdelay, ref.qdelay)
+	}
+	for w := range ref.workerLog {
+		if len(ref.workerLog[w]) != len(got.workerLog[w]) {
+			t.Fatalf("%s: worker %d: %d log records, want %d",
+				name, w, len(got.workerLog[w]), len(ref.workerLog[w]))
+		}
+		for i := range ref.workerLog[w] {
+			if ref.workerLog[w][i] != got.workerLog[w][i] {
+				t.Fatalf("%s: worker %d log[%d] = %q, want %q",
+					name, w, i, got.workerLog[w][i], ref.workerLog[w][i])
+			}
+		}
+	}
+}
+
+// shardCounts trims the standard {1, 2, 4, 8} grid to the node count.
+func shardCounts(nodes int) []int {
+	out := []int{1}
+	for _, s := range []int{2, 4, 8} {
+		if s <= nodes {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// diffShardedModes runs one ring across the full (shards × workers ×
+// batched × inline) cross-product and requires byte-identical
+// observations against the serial slow-path reference.
+func diffShardedModes(t *testing.T, p ringParams) {
+	t.Helper()
+	cfg := Config{Nodes: p.nodes, ModuleService: p.svc, Seed: p.seed%97 + 1}
+	ref := runShardedRing(t, p, serialTopo(cfg), false, false)
+	modes := []struct {
+		name            string
+		batched, inline bool
+	}{
+		{"slow+inline", false, true},
+		{"batched+noinline", true, false},
+		{"batched+inline", true, true},
+	}
+	for _, mode := range modes {
+		diffRingObs(t, "serial/"+mode.name, ref,
+			runShardedRing(t, p, serialTopo(cfg), mode.batched, mode.inline))
+	}
+	for _, shards := range shardCounts(p.nodes) {
+		for _, workers := range []int{1, 4} {
+			tag := fmt.Sprintf("shards=%d/j=%d", shards, workers)
+			diffRingObs(t, tag+"/slow+noinline", ref,
+				runShardedRing(t, p, shardedTopoOf(cfg, shards, workers), false, false))
+			for _, mode := range modes {
+				diffRingObs(t, tag+"/"+mode.name, ref,
+					runShardedRing(t, p, shardedTopoOf(cfg, shards, workers), mode.batched, mode.inline))
+			}
+		}
+	}
+}
+
+func TestShardedRingDifferential(t *testing.T) {
+	for _, svc := range []Time{0, 400 * Nanosecond} {
+		t.Run(fmt.Sprintf("svc=%v", svc), func(t *testing.T) {
+			diffShardedModes(t, ringParams{seed: 11, nodes: 8, rounds: 3, svc: svc, noise: 2})
+		})
+	}
+}
+
+// FuzzShardedDifferential drives randomized ring topologies through the
+// whole shards × workers × engine-mode grid, requiring observations
+// identical to the serial engine's.
+func FuzzShardedDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(1), uint8(0), uint8(0))
+	f.Add(uint64(3), uint8(5), uint8(2), uint8(3), uint8(1))
+	f.Add(uint64(42), uint8(9), uint8(3), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nodes, rounds, svcUnits, noise uint8) {
+		p := ringParams{
+			seed:   seed%1000 + 1,
+			nodes:  int(nodes%9) + 1,
+			rounds: int(rounds%3) + 1,
+			svc:    Time(svcUnits%6) * 200 * Nanosecond,
+			noise:  int(noise % 3),
+		}
+		diffShardedModes(t, p)
+	})
+}
+
+// TestShardedWindowsEngage proves the partitioned run actually exchanged
+// cross-shard messages — the differential suite would pass vacuously if
+// everything landed on one shard.
+func TestShardedWindowsEngage(t *testing.T) {
+	p := ringParams{seed: 5, nodes: 8, rounds: 2}
+	cfg := Config{Nodes: p.nodes, Seed: 1}
+	sh := NewSharded(cfg, ShardOptions{Shards: 4})
+	tp := &shardedTopo{machineFor: sh.MachineFor, machines: sh.shards, run: sh.Run}
+	runShardedRing(t, p, tp, true, true)
+	var delivered uint64
+	for src := 0; src < sh.Shards(); src++ {
+		for dst := 0; dst < sh.Shards(); dst++ {
+			n, _ := sh.EdgeStats(src, dst)
+			delivered += n
+		}
+	}
+	// The ring alone crosses partitions nodes×rounds times; the hub adds
+	// more. Anything near zero means the partition never engaged.
+	if delivered < uint64(p.nodes*p.rounds) {
+		t.Fatalf("only %d cross-shard messages delivered; the partition never engaged", delivered)
+	}
+	// Ring hops from the last node of each shard cross to the next shard.
+	n, last := sh.EdgeStats(0, 1)
+	if n == 0 || last == 0 {
+		t.Errorf("edge 0→1 shows no traffic (n=%d last=%v)", n, last)
+	}
+}
+
+// TestShardedDeadlockReport checks a cross-shard stall names the blocked
+// coro's shard and the mailbox edges — the satellite fix for the old
+// one-global-heap report.
+func TestShardedDeadlockReport(t *testing.T) {
+	cfg := Config{Nodes: 4, Seed: 1}
+	sh := NewSharded(cfg, ShardOptions{Shards: 2})
+	m0, m1 := sh.Machine(0), sh.Machine(1)
+	sink := m1.NewCell(2, "sink", 0)
+	c0 := m0.Engine().Spawn("producer", func(c *Coro) {
+		a := &spinAccessor{c: c, node: 0}
+		sink.PostStore(a, 7)
+	})
+	c0.Start(0)
+	c1 := m1.Engine().Spawn("stuck-consumer", func(c *Coro) {
+		c.Park() // never unparked: deadlock once the queues drain
+	})
+	c1.Start(0)
+	err := sh.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"shard 1:", "stuck-consumer", "mailbox edges", "0→1 ×1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock report %q does not name %q", msg, want)
+		}
+	}
+	if sink.Peek() != 7 {
+		t.Errorf("posted store never landed: sink=%d", sink.Peek())
+	}
+}
+
+// TestSerialDeadlockReportNamesCoros checks the serial half of the same
+// satellite: Run and RunFor both name the parked coros.
+func TestSerialDeadlockReportNamesCoros(t *testing.T) {
+	for _, mode := range []string{"Run", "RunFor"} {
+		e := NewEngine()
+		for i := 0; i < 10; i++ {
+			c := e.Spawn(fmt.Sprintf("waiter%d", i), func(c *Coro) { c.Park() })
+			c.Start(0)
+		}
+		var err error
+		if mode == "Run" {
+			err = e.Run()
+		} else {
+			err = e.RunFor(Second)
+			e.shutdown()
+		}
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("%s: want deadlock, got %v", mode, err)
+		}
+		msg := err.Error()
+		for _, want := range []string{"10 parked", "waiter0", "waiter7", "… 2 more"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: report %q does not contain %q", mode, msg, want)
+			}
+		}
+		if strings.Contains(msg, "shard") {
+			t.Errorf("%s: standalone report %q mentions a shard", mode, msg)
+		}
+	}
+}
+
+// TestShardedRouteBelowLookahead pins the window-safety guard: a
+// cross-shard route faster than the lookahead is a modelling error and
+// must panic rather than silently corrupt the window invariant.
+func TestShardedRouteBelowLookahead(t *testing.T) {
+	sh := NewSharded(Config{Nodes: 4, Seed: 1}, ShardOptions{Shards: 2})
+	m0 := sh.Machine(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-shard route below lookahead did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "below lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	m0.Route(0, 3, sh.Lookahead()-1, func() {})
+}
+
+// TestShardedStop checks both stop paths: a shard's own Engine.Stop ends
+// the run at the next barrier, and Sharded.Stop from outside is honoured.
+func TestShardedStop(t *testing.T) {
+	sh := NewSharded(Config{Nodes: 4, Seed: 1}, ShardOptions{Shards: 2})
+	m1 := sh.Machine(1)
+	fired := false
+	m1.Engine().After(Millisecond, func() { m1.Engine().Stop() })
+	m1.Engine().After(Second, func() { fired = true })
+	sh.Machine(0).Engine().After(2*Second, func() { fired = true })
+	if err := sh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("events after Stop still fired")
+	}
+
+	sh2 := NewSharded(Config{Nodes: 4, Seed: 1}, ShardOptions{Shards: 2})
+	sh2.Stop()
+	ran := false
+	sh2.Machine(0).Engine().After(0, func() { ran = true })
+	if err := sh2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("pre-stopped run still fired events")
+	}
+}
+
+// TestShardedRunTwice pins the single-use contract.
+func TestShardedRunTwice(t *testing.T) {
+	sh := NewSharded(Config{Nodes: 2, Seed: 1}, ShardOptions{Shards: 2})
+	if err := sh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Run(); err == nil {
+		t.Fatal("second Run did not fail")
+	}
+}
+
+// TestShardedFailurePropagates checks a coro panic on any shard aborts
+// the whole run, lowest rank winning deterministically, and all coros
+// are wound down.
+func TestShardedFailurePropagates(t *testing.T) {
+	sh := NewSharded(Config{Nodes: 4, Seed: 1}, ShardOptions{Shards: 2})
+	for i := 0; i < 2; i++ {
+		i := i
+		m := sh.Machine(i)
+		c := m.Engine().Spawn(fmt.Sprintf("bomb%d", i), func(c *Coro) {
+			c.Sleep(Millisecond)
+			panic(fmt.Sprintf("bomb %d went off", i))
+		})
+		c.Start(0)
+	}
+	err := sh.Run()
+	if err == nil || !strings.Contains(err.Error(), "bomb") {
+		t.Fatalf("want bomb panic, got %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if n := sh.Machine(i).Engine().Live(); n != 0 {
+			t.Errorf("shard %d leaked %d coros", i, n)
+		}
+	}
+}
+
+// TestShardedPartition pins the contiguous node→shard mapping.
+func TestShardedPartition(t *testing.T) {
+	sh := NewSharded(Config{Nodes: 10, Seed: 1}, ShardOptions{Shards: 4})
+	var got []int
+	for n := 0; n < 10; n++ {
+		got = append(got, sh.RankOf(n))
+	}
+	want := []int{0, 0, 1, 1, 1, 2, 2, 3, 3, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("owner map %v, want %v", got, want)
+	}
+	for i := 0; i < 4; i++ {
+		lo, hi := sh.NodeRange(i)
+		for n := lo; n < hi; n++ {
+			if sh.MachineFor(n) != sh.Machine(i) {
+				t.Fatalf("MachineFor(%d) is not shard %d", n, i)
+			}
+		}
+	}
+}
