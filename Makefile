@@ -30,15 +30,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Coverage gate: internal/profile is the observability tentpole, so its
+# Coverage gates: internal/profile is the observability tentpole and
+# internal/locks carries the predictive/cohort lock kinds; each package's
 # statement coverage must stay at or above 80% (measured across the whole
-# test suite — its exercisers live in sim, cthreads, and locks tests too).
+# test suite — their exercisers live in sim, cthreads, workload, and
+# experiments tests too).
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./internal/profile ./internal/... > /dev/null
 	@$(GO) tool cover -func=cover.out | tail -1
 	@pct="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
 	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/profile at %s%%, need >= 80%%\n", p; exit 1 } }'
-	@rm -f cover.out
+	$(GO) test -coverprofile=cover_locks.out -coverpkg=./internal/locks ./internal/... > /dev/null
+	@$(GO) tool cover -func=cover_locks.out | tail -1
+	@pct="$$($(GO) tool cover -func=cover_locks.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/locks at %s%%, need >= 80%%\n", p; exit 1 } }'
+	@rm -f cover.out cover_locks.out
 
 # Benchmark baseline: engine micro-benchmarks at full benchtime plus the
 # paper-table macro benchmarks at one iteration each (their sim-* metrics

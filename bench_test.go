@@ -425,6 +425,12 @@ func BenchmarkLockContended(b *testing.B) {
 		{"mcs", func(sys *cthreads.System) locks.Lock {
 			return locks.NewLocalSpinLock(sys, 0, "mcs", locks.DefaultCosts())
 		}},
+		{"mutable", func(sys *cthreads.System) locks.Lock {
+			return locks.NewMutableLock(sys, 0, "mutable", locks.DefaultCosts())
+		}},
+		{"cohort", func(sys *cthreads.System) locks.Lock {
+			return locks.NewCohortLock(sys, 0, "cohort", locks.DefaultCosts())
+		}},
 	}
 	for _, bl := range builders {
 		for _, waiters := range []int{2, 8, 32} {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-fig 1|sched|crossover|ablation|sharded|all] [-j N]
+//	figures [-fig 1|sched|crossover|cohort|ablation|sharded|all] [-j N]
 //	        [-profile-vt FILE] [-ledger FILE]   (observers require -fig 1)
 //	        [-shards N]                         (largest shard count for -fig sharded)
 package main
@@ -24,7 +24,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, sharded, or all")
+	fig := flag.String("fig", "all", "figure: 1, sched, crossover, advisory, retarget, cohort, coupling, platform, sor, barrier, ablation, sharded, or all")
 	jobs := cli.JobsFlag(flag.CommandLine)
 	shards := cli.ShardsFlag(flag.CommandLine)
 	obs := cli.ObserveFlags(flag.CommandLine)
@@ -94,6 +94,14 @@ func main() {
 		fmt.Println(experiments.RenderRetargeting(rows))
 		printed = true
 	}
+	if want("cohort") {
+		rows, err := experiments.CohortNUMA(sim.Config{}, *jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCohortNUMA(rows))
+		printed = true
+	}
 	if want("coupling") {
 		rows, err := experiments.CouplingComparison(sim.Config{})
 		if err != nil {
@@ -147,7 +155,7 @@ func main() {
 		printed = true
 	}
 	if !printed {
-		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, coupling, platform, sor, barrier, ablation, sharded, or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 1, sched, crossover, advisory, retarget, cohort, coupling, platform, sor, barrier, ablation, sharded, or all)\n", *fig)
 		os.Exit(2)
 	}
 	if err := obs.Flush(); err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lockbench [-table 4|5|6|7|8|all] [-iters N] [-procs N] [-j N]
+//	lockbench [-table 4|5|6|7|8|all] [-lock KIND] [-calib] [-iters N] [-procs N] [-j N]
 //	          [-trace FILE] [-trace-reports] [-profile-vt FILE] [-ledger FILE]
 //	          [-shards 1]   (the tables time synchronous lock handoffs; only 1 is legal)
 package main
@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/locks"
 	"repro/internal/sim"
 )
 
@@ -23,6 +25,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lockbench: ")
 	table := flag.String("table", "all", "table to regenerate: 4, 5, 6, 7, 8, or all")
+	lockKind := flag.String("lock", "",
+		"restrict Tables 4/5 to one lock kind (valid kinds: "+strings.Join(locks.KindNames(), ", ")+")")
+	calib := flag.Bool("calib", false,
+		"also print the mutable lock's predicted-vs-actual wait calibration report")
 	iters := flag.Int("iters", 16, "repetitions per measured operation")
 	procs := cli.ProcsFlag(flag.CommandLine, 0)
 	jobs := cli.JobsFlag(flag.CommandLine)
@@ -50,6 +56,19 @@ func main() {
 		Profiler: obs.Profiler(), Ledger: obs.Ledger(), Jobs: *jobs}
 	if *procs > 0 {
 		opts.Machine = sim.Config{Nodes: *procs}
+	}
+	if *lockKind != "" {
+		k := locks.Kind(*lockKind)
+		valid := false
+		for _, name := range locks.KindNames() {
+			if name == *lockKind {
+				valid = true
+			}
+		}
+		if !valid {
+			log.Fatalf("-lock %q: unknown lock kind (valid kinds: %s)", *lockKind, strings.Join(locks.KindNames(), ", "))
+		}
+		opts.Kinds = []locks.Kind{k}
 	}
 	want := func(t string) bool { return *table == "all" || *table == t }
 	printed := false
@@ -92,6 +111,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RenderTable8(rows))
+		printed = true
+	}
+	if *calib {
+		rows, err := experiments.MutableCalibration(opts.Machine, *jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderMutableCalibration(rows))
 		printed = true
 	}
 	if !printed {

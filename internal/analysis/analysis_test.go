@@ -15,6 +15,7 @@ func TestWalltime(t *testing.T) {
 func TestRawspin(t *testing.T) {
 	analysistest.Run(t, "testdata", "rawspin/sim", Rawspin)
 	analysistest.Run(t, "testdata", "rawspin/notsim", Rawspin)
+	analysistest.Run(t, "testdata", "rawspin/locks", Rawspin)
 }
 
 func TestMaporder(t *testing.T) {
@@ -23,6 +24,7 @@ func TestMaporder(t *testing.T) {
 
 func TestVirtualtime(t *testing.T) {
 	analysistest.Run(t, "testdata", "virtualtime/sim", Virtualtime)
+	analysistest.Run(t, "testdata", "virtualtime/locks", Virtualtime)
 }
 
 func TestSeqadvance(t *testing.T) {

@@ -1,0 +1,65 @@
+// Package locks is a rawspin fixture shaped like the predictive mutable
+// lock and the NUMA cohort lock: both wait on lock words in rounds
+// (re-predicted deadlines, local-then-global levels), and every round's
+// waiting must still route through SpinUntil so spin batching and the
+// futile-probe accounting see it.
+package locks
+
+// Cell mimics sim.Cell's polling surface.
+type Cell struct{ v int64 }
+
+func (c *Cell) Load() int64 { return c.v }
+func (c *Cell) AtomicOr(v int64) int64 {
+	old := c.v
+	c.v |= v
+	return old
+}
+
+// Ctx mimics a spin context (Coro / Thread).
+type Ctx struct{}
+
+func (x *Ctx) Advance(n int64)                  {}
+func (x *Ctx) Compute(n int64)                  {}
+func (x *Ctx) SpinUntil(probe func() bool) bool { return true }
+
+// mutableRepredict hand-rolls the predictive wait loop: probing the lock
+// word with a pause sized by the re-predicted deadline bypasses the
+// batched-spin accounting entirely.
+func mutableRepredict(flag *Cell, x *Ctx) {
+	pred := int64(10)
+	for flag.AtomicOr(1) != 0 { // want `hand-rolled busy-wait`
+		x.Compute(pred)
+		pred *= 2
+	}
+}
+
+// mutableRounds is the sanctioned shape: each predicted spin round is a
+// bounded SpinUntil; only the decision logic lives in the outer loop.
+func mutableRounds(flag *Cell, x *Ctx) {
+	for round := 0; round < 3; round++ {
+		if x.SpinUntil(func() bool { return flag.AtomicOr(1) == 0 }) {
+			return
+		}
+	}
+}
+
+// cohortTwoLevel hand-rolls both levels of the cohort acquisition: the
+// node-local flag and the global word each get their own raw busy-wait.
+func cohortTwoLevel(local, global *Cell, x *Ctx) {
+	for local.AtomicOr(1) != 0 { // want `hand-rolled busy-wait`
+		x.Advance(2)
+	}
+	for global.AtomicOr(1) != 0 { // want `hand-rolled busy-wait`
+		x.Advance(2)
+	}
+}
+
+// cohortSanctioned runs both levels through SpinUntil; the pass-flag
+// check between them is a plain read, not a wait.
+func cohortSanctioned(local, global, pass *Cell, x *Ctx) {
+	x.SpinUntil(func() bool { return local.AtomicOr(1) == 0 })
+	if pass.Load() != 0 {
+		return
+	}
+	x.SpinUntil(func() bool { return global.AtomicOr(1) == 0 })
+}

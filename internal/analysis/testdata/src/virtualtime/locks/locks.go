@@ -1,0 +1,51 @@
+// Package locks is a virtualtime fixture shaped like the predictive
+// mutable lock and the NUMA cohort lock: their estimator and cohort
+// state are mutated from coroutine context, where the engine's
+// single-threaded dispatch is the only legal synchronization — native
+// sync or channels would desynchronize virtual time.
+package locks
+
+import (
+	"sync"
+
+	"virtualtime/cthreads"
+)
+
+type mutable struct {
+	mu  sync.Mutex
+	est int64
+}
+
+// estimateUnderMutex guards the hold-time estimate with a native mutex
+// from coroutine context.
+func (l *mutable) estimateUnderMutex(t *cthreads.Thread) {
+	l.mu.Lock() // want `sync.Mutex operation`
+	l.est++
+	l.mu.Unlock() // want `sync.Mutex operation`
+}
+
+// handoffOverChannel passes the cohort lock to a same-node successor
+// over a real channel instead of a simulated pass cell.
+func handoffOverChannel(t *cthreads.Thread, pass chan int) {
+	pass <- 1 // want `channel send`
+}
+
+// sampleOnGoroutine probes the monitor on a native goroutine.
+func sampleOnGoroutine(t *cthreads.Thread) {
+	go probe() // want `go statement`
+}
+
+func probe() {}
+
+type mutablePlain struct{ est int64 }
+
+// estimatePlain mutates plain fields: coroutine dispatch is
+// single-threaded, so no further synchronization is needed or legal.
+func (l *mutablePlain) estimatePlain(t *cthreads.Thread) { l.est++ }
+
+// aggregate runs outside coroutine context (no Thread/Coro in scope),
+// where native sync is allowed.
+func aggregate(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}

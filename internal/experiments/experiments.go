@@ -48,6 +48,9 @@ type Options struct {
 	// runs on its own engine, so up to Jobs (capped at GOMAXPROCS) run
 	// concurrently while results keep their input order. 0 or 1 is serial.
 	Jobs int
+	// Kinds, when non-empty, restricts Tables 4 and 5 to these lock kinds
+	// (cmd/lockbench's -lock flag); empty means the paper's full row set.
+	Kinds []locks.Kind
 }
 
 // observed reports whether any observer is attached; observed sweeps run
@@ -85,14 +88,18 @@ type LockOpRow struct {
 	Remote sim.Time
 }
 
-// lockKindsTable4 lists Table 4's rows in paper order.
+// lockKindsTable4 lists Table 4's rows in paper order, followed by this
+// reproduction's additional kinds.
 var lockKindsTable4 = []locks.Kind{
 	locks.KindTAS, locks.KindSpin, locks.KindBackoff, locks.KindBlocking, locks.KindAdaptive,
+	locks.KindMutable, locks.KindCohort,
 }
 
-// lockKindsTable5 lists Table 5's rows in paper order (no raw atomior row).
+// lockKindsTable5 lists Table 5's rows in paper order (no raw atomior
+// row), followed by this reproduction's additional kinds.
 var lockKindsTable5 = []locks.Kind{
 	locks.KindSpin, locks.KindBackoff, locks.KindBlocking, locks.KindAdaptive,
+	locks.KindMutable, locks.KindCohort,
 }
 
 // kindLabel renders a lock kind the way the paper's tables name it.
@@ -108,9 +115,32 @@ func kindLabel(k locks.Kind) string {
 		return "blocking-lock"
 	case locks.KindAdaptive:
 		return "adaptive lock"
+	case locks.KindMutable:
+		return "mutable lock"
+	case locks.KindCohort:
+		return "cohort lock"
 	default:
 		return string(k)
 	}
+}
+
+// tableKinds applies the Options.Kinds restriction to a table's row set,
+// preserving table order.
+func (o Options) tableKinds(all []locks.Kind) []locks.Kind {
+	if len(o.Kinds) == 0 {
+		return all
+	}
+	want := make(map[locks.Kind]bool, len(o.Kinds))
+	for _, k := range o.Kinds {
+		want[k] = true
+	}
+	out := make([]locks.Kind, 0, len(all))
+	for _, k := range all {
+		if want[k] {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // measureOp runs one thread on the given node against a lock on node 0 and
@@ -152,12 +182,12 @@ func measureOp(opts Options, kind locks.Kind, threadNode int, op string) (sim.Ti
 // Table4 measures the uncontended Lock operation latency for each lock
 // kind, local and remote (§5.2 Table 4).
 func Table4(opts Options) ([]LockOpRow, error) {
-	return lockOpTable(opts, lockKindsTable4, "lock")
+	return lockOpTable(opts, opts.tableKinds(lockKindsTable4), "lock")
 }
 
 // Table5 measures the uncontended Unlock operation latency (§5.2 Table 5).
 func Table5(opts Options) ([]LockOpRow, error) {
-	return lockOpTable(opts, lockKindsTable5, "unlock")
+	return lockOpTable(opts, opts.tableKinds(lockKindsTable5), "unlock")
 }
 
 func lockOpTable(opts Options, kinds []locks.Kind, op string) ([]LockOpRow, error) {

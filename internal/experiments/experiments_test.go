@@ -16,8 +16,8 @@ func TestTable4Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("Table 4 has %d rows, want 5", len(rows))
+	if len(rows) != 7 {
+		t.Fatalf("Table 4 has %d rows, want 7", len(rows))
 	}
 	byKind := map[string]LockOpRow{}
 	for _, r := range rows {
@@ -25,6 +25,15 @@ func TestTable4Shape(t *testing.T) {
 		if r.Remote < r.Local {
 			t.Errorf("Table 4 %s: remote (%v) < local (%v)", r.Kind, r.Remote, r.Local)
 		}
+	}
+	// The mutable lock's uncontended acquire is spin-like: nowhere near the
+	// blocking lock's. The cohort lock pays for its two-level acquisition
+	// but still stays below blocking.
+	if !(byKind["mutable lock"].Local < byKind["blocking-lock"].Local) {
+		t.Error("Table 4: mutable lock's lock op should stay below blocking")
+	}
+	if !(byKind["cohort lock"].Local > byKind["spin-lock"].Local) {
+		t.Error("Table 4: cohort lock's two-level lock op should cost more than the flat spin lock's")
 	}
 	// atomior < spin ≤ adaptive ≪ blocking (paper: 30.7 / 40.8 / 40.8 / 88.6).
 	if !(byKind["atomior"].Local < byKind["spin-lock"].Local) {
@@ -346,6 +355,61 @@ func TestLockRetargetingShape(t *testing.T) {
 	}
 	if !(last.HotSpotDelay > 100*first.HotSpotDelay) {
 		t.Errorf("hot-spot delay did not explode with contention: %v → %v", first.HotSpotDelay, last.HotSpotDelay)
+	}
+}
+
+func TestMutableCalibrationShape(t *testing.T) {
+	rows, err := MutableCalibration(sim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Waiters != 2 || rows[2].Waiters != 32 {
+		t.Fatalf("unexpected sweep: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Spin+r.SpinBlock+r.Block+r.Cold == 0 {
+			t.Errorf("%d waiters: no contended arrivals classified", r.Waiters)
+		}
+	}
+	// At 2 waiters the predicted wait (≈ one 20µs hold) sits well below the
+	// GP1000 block cost, so the predictor spins; at 32 waiters the queue
+	// term pushes predictions past the spin-then-block threshold.
+	if rows[0].Spin == 0 {
+		t.Errorf("2 waiters: no spin decisions: %+v", rows[0])
+	}
+	if rows[2].Block == 0 {
+		t.Errorf("32 waiters: no block decisions: %+v", rows[2])
+	}
+	// The calibration record must carry real predicted-vs-actual pairs.
+	last := rows[2]
+	if last.MeanPredicted <= 0 || last.MeanActual <= 0 {
+		t.Errorf("32 waiters: empty calibration record: %+v", last)
+	}
+}
+
+func TestCohortNUMAShape(t *testing.T) {
+	rows, err := CohortNUMA(sim.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].Nodes != 2 || rows[2].Nodes != 8 {
+		t.Fatalf("unexpected sweep: %+v", rows)
+	}
+	for _, r := range rows {
+		// The headline: cohorting keeps consecutive acquisitions on the
+		// releasing node, so the lock crosses nodes far less often than
+		// under the node-oblivious representations.
+		if !(r.CohortRemote*2 < r.SpinRemote) {
+			t.Errorf("%d nodes: cohort remote transfers (%d) not well below spin's (%d)",
+				r.Nodes, r.CohortRemote, r.SpinRemote)
+		}
+		if !(r.CohortRemote*2 < r.MCSRemote) {
+			t.Errorf("%d nodes: cohort remote transfers (%d) not well below MCS's (%d)",
+				r.Nodes, r.CohortRemote, r.MCSRemote)
+		}
+		if r.LocalHandoffs == 0 {
+			t.Errorf("%d nodes: no intra-node handoffs", r.Nodes)
+		}
 	}
 }
 

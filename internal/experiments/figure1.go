@@ -59,7 +59,9 @@ func (o Figure1Options) withDefaults() Figure1Options {
 	return o
 }
 
-// Figure1Strategies are the five waiting policies the figure compares.
+// Figure1Strategies are the waiting policies the figure compares: the
+// paper's five (pure spin, pure block, combined-k) plus this
+// reproduction's predictive mutable lock and NUMA cohort lock.
 func Figure1Strategies() []workload.Strategy {
 	return []workload.Strategy{
 		workload.SpinStrategy(),
@@ -67,6 +69,8 @@ func Figure1Strategies() []workload.Strategy {
 		workload.CombinedStrategy(1),
 		workload.CombinedStrategy(10),
 		workload.CombinedStrategy(50),
+		workload.MutableStrategy(),
+		workload.CohortStrategy(),
 	}
 }
 

@@ -91,11 +91,13 @@ func RenderPattern(f PatternFigure, width int) string {
 // critical-section length).
 func RenderFigure1(rows []Figure1Row) *metrics.Table {
 	tb := metrics.NewTable("Figure 1: Length of critical section vs. application execution time (ms)",
-		"CS length", "pure-spin", "pure-block", "combined-1", "combined-10", "combined-50")
+		"CS length", "pure-spin", "pure-block", "combined-1", "combined-10", "combined-50",
+		"mutable", "cohort")
 	for _, r := range rows {
 		tb.AddRow(r.CSLength.String(),
 			ms(r.Elapsed["pure-spin"]), ms(r.Elapsed["pure-block"]),
-			ms(r.Elapsed["combined-1"]), ms(r.Elapsed["combined-10"]), ms(r.Elapsed["combined-50"]))
+			ms(r.Elapsed["combined-1"]), ms(r.Elapsed["combined-10"]), ms(r.Elapsed["combined-50"]),
+			ms(r.Elapsed["mutable"]), ms(r.Elapsed["cohort"]))
 	}
 	return tb
 }
@@ -150,6 +152,34 @@ func RenderRetargeting(rows []RetargetRow) *metrics.Table {
 		"contending threads", "remote-spin TAS (ms)", "local-spin MCS (ms)", "TAS hot-spot delay")
 	for _, r := range rows {
 		tb.AddRow(fmt.Sprint(r.Threads), ms(r.RemoteSpin), ms(r.LocalSpin), r.HotSpotDelay.String())
+	}
+	return tb
+}
+
+// RenderMutableCalibration renders the predicted-vs-actual wait report
+// of the mutable lock (lockbench -calib).
+func RenderMutableCalibration(rows []CalibRow) *metrics.Table {
+	tb := metrics.NewTable("Mutable lock: predicted vs. actual wait calibration",
+		"waiters", "spin", "spin-block", "block", "cold",
+		"mean predicted (µs)", "mean actual (µs)", "mean |err| (µs)")
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprint(r.Waiters),
+			fmt.Sprint(r.Spin), fmt.Sprint(r.SpinBlock), fmt.Sprint(r.Block), fmt.Sprint(r.Cold),
+			us(r.MeanPredicted), us(r.MeanActual), us(r.MeanAbsErr))
+	}
+	return tb
+}
+
+// RenderCohortNUMA renders the cohort-vs-spin-vs-MCS NUMA comparison.
+func RenderCohortNUMA(rows []CohortRow) *metrics.Table {
+	tb := metrics.NewTable("Cohort lock: execution time and remote lock transfers by machine size",
+		"nodes×threads", "spin (ms)", "mcs (ms)", "cohort (ms)",
+		"spin remote", "mcs remote", "cohort remote", "local handoffs")
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("%d×%d", r.Nodes, r.PerNode),
+			ms(r.Spin), ms(r.MCS), ms(r.Cohort),
+			fmt.Sprint(r.SpinRemote), fmt.Sprint(r.MCSRemote), fmt.Sprint(r.CohortRemote),
+			fmt.Sprint(r.LocalHandoffs))
 	}
 	return tb
 }

@@ -1,24 +1,43 @@
 package locks
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 import "repro/internal/cthreads"
 
 // Kind names a lock implementation, for factories and command-line flags.
 type Kind string
 
-// The lock kinds of the paper's evaluation.
+// The lock kinds of the paper's evaluation, plus the predictive mutable
+// lock and the NUMA cohort lock.
 const (
 	KindTAS      Kind = "tas"
 	KindSpin     Kind = "spin"
 	KindBackoff  Kind = "backoff"
 	KindBlocking Kind = "blocking"
 	KindAdaptive Kind = "adaptive"
+	KindMutable  Kind = "mutable"
+	KindCohort   Kind = "cohort"
 )
 
 // Kinds lists all factory-constructible kinds in table order.
 func Kinds() []Kind {
-	return []Kind{KindTAS, KindSpin, KindBackoff, KindBlocking, KindAdaptive}
+	return []Kind{KindTAS, KindSpin, KindBackoff, KindBlocking, KindAdaptive, KindMutable, KindCohort}
+}
+
+// KindNames lists all factory-constructible kinds sorted alphabetically —
+// the deterministic order for error messages and flag help text.
+func KindNames() []string {
+	ks := Kinds()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = string(k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // New constructs a lock of the given kind on the given node. Adaptive
@@ -35,8 +54,13 @@ func New(sys *cthreads.System, kind Kind, node int, name string, costs Costs) (L
 		return NewBlockingLock(sys, node, name, costs), nil
 	case KindAdaptive:
 		return NewAdaptiveLock(sys, node, name, costs, nil), nil
+	case KindMutable:
+		return NewMutableLock(sys, node, name, costs), nil
+	case KindCohort:
+		return NewCohortLock(sys, node, name, costs), nil
 	default:
-		return nil, fmt.Errorf("locks: unknown kind %q", kind)
+		return nil, fmt.Errorf("locks: unknown kind %q (valid kinds: %s)",
+			kind, strings.Join(KindNames(), ", "))
 	}
 }
 

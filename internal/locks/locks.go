@@ -47,6 +47,11 @@ type Stats struct {
 	// TotalWait is the summed time threads spent between requesting and
 	// acquiring the lock.
 	TotalWait sim.Time
+	// RemoteTransfers counts acquisitions by a thread on a different node
+	// than the previous owner — each one drags the lock's cache state
+	// across the machine's remote-access latency. NUMA-aware locks
+	// (CohortLock) exist to keep this number low.
+	RemoteTransfers uint64
 }
 
 // Observer receives one event per Lock call at registration time: the
@@ -82,6 +87,9 @@ type base struct {
 	// holdFrom is the acquisition instant of the current hold, feeding
 	// the hold-time histogram at release (profiler-only state).
 	holdFrom sim.Time
+	// lastNode is the node of the previous owner (-1 before the first
+	// acquisition), feeding Stats.RemoteTransfers.
+	lastNode int
 }
 
 func newBase(sys *cthreads.System, node int, name string, costs Costs) base {
@@ -96,6 +104,7 @@ func newBase(sys *cthreads.System, node int, name string, costs Costs) base {
 		frameCS:     "cs:" + name,
 		frameWait:   "wait:" + name,
 		frameSpin:   "spin:" + name,
+		lastNode:    -1,
 	}
 }
 
@@ -143,6 +152,10 @@ func (b *base) acquired(t *cthreads.Thread, start sim.Time, wasContended bool) {
 	if wasContended {
 		b.stats.Contended++
 	}
+	if b.lastNode >= 0 && b.lastNode != t.Node() {
+		b.stats.RemoteTransfers++
+	}
+	b.lastNode = t.Node()
 	wait := t.Now() - start
 	b.stats.TotalWait += wait
 	if b.waitHist != nil {

@@ -68,11 +68,18 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 	l.obj.Attrs.Define(AttrSleepTime, 1, true)
 	l.obj.Attrs.Define(AttrTimeout, 0, true)
 	l.obj.Methods.Define(MethodScheduler, 3, SchedFCFS, SchedPriority, SchedHandoff)
-	// Route the object's feedback loop into the system tracer: samples
-	// entering the loop and reconfigurations applied (Ψ). The hooks read
-	// the tracer at fire time, so attaching a tracer after lock creation
-	// works; with no tracer they cost two nil checks per sample/apply.
-	l.obj.OnSample(func(s core.Sample) {
+	wireObservability(sys, l.obj, name)
+	return l
+}
+
+// wireObservability routes an adaptive object's feedback loop into the
+// system tracer (samples entering the loop and reconfigurations applied, Ψ)
+// and into the adaptation decision ledger. The hooks resolve the tracer and
+// ledger at fire time, so attaching either after lock creation works; with
+// neither attached they cost a few nil checks per sample/apply. Every lock
+// kind that embeds a core.Object wires it through here.
+func wireObservability(sys *cthreads.System, obj *core.Object, name string) {
+	obj.OnSample(func(s core.Sample) {
 		tr := sys.Tracer()
 		if tr == nil {
 			return
@@ -81,7 +88,7 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 		tr.Emit(trace.Event{At: now, Kind: trace.KindSample, Proc: -1, Thread: -1,
 			Name: name, A: int64(now), B: s.Value})
 	})
-	l.obj.OnApply(func(d core.Decision, by core.OwnerID, err error) {
+	obj.OnApply(func(d core.Decision, by core.OwnerID, err error) {
 		tr := sys.Tracer()
 		if tr == nil || err != nil {
 			return
@@ -89,12 +96,9 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 		tr.Emit(trace.Event{At: sys.Now(), Kind: trace.KindReconfig, Proc: -1, Thread: -1,
 			Name: name, Extra: d.String(), A: d.Value})
 	})
-	// Route the feedback loop into the system's adaptation decision
-	// ledger the same way: resolved at entry time, free when detached.
-	l.obj.SetLedgerSource(
+	obj.SetLedgerSource(
 		func() *core.Ledger { return sys.Ledger() },
 		func() int64 { return int64(sys.Now()) })
-	return l
 }
 
 // Object exposes the underlying adaptive object (attributes, methods,

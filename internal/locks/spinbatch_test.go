@@ -29,9 +29,11 @@ type lockBuilder struct {
 
 // spinBatchBuilders covers every busy-wait structure in the package: the
 // raw TAS loop, the registered spin lock, exponential backoff (whose
-// pause depends on the waiter count), the MCS-style local-spin queue, and
-// the reconfigurable lock in pure-spin and spin-then-block trims plus the
-// adaptive lock that reconfigures mid-run.
+// pause depends on the waiter count), the MCS-style local-spin queue, the
+// reconfigurable lock in pure-spin and spin-then-block trims plus the
+// adaptive lock that reconfigures mid-run, the predictive mutable lock,
+// the NUMA cohort lock, and a retargetable lock that swaps mutable↔cohort
+// from the waiting sensor mid-run.
 func spinBatchBuilders() []lockBuilder {
 	return []lockBuilder{
 		{"tas", func(sys *cthreads.System) Lock { return NewTASLock(sys, 0, "tas", DefaultCosts()) }},
@@ -41,6 +43,15 @@ func spinBatchBuilders() []lockBuilder {
 		{"pure-spin", func(sys *cthreads.System) Lock { return NewPureSpinConfigured(sys, 0, "pure-spin", DefaultCosts()) }},
 		{"combined-10", func(sys *cthreads.System) Lock { return NewCombinedLock(sys, 0, "combined", DefaultCosts(), 10) }},
 		{"adaptive", func(sys *cthreads.System) Lock { return NewAdaptiveLock(sys, 0, "adaptive", DefaultCosts(), nil) }},
+		{"mutable", func(sys *cthreads.System) Lock { return NewMutableLock(sys, 0, "mutable", DefaultCosts()) }},
+		{"cohort", func(sys *cthreads.System) Lock { return NewCohortLock(sys, 0, "cohort", DefaultCosts()) }},
+		{"retarget", func(sys *cthreads.System) Lock {
+			l, err := NewRetargetableLock(sys, 0, "retarget", DefaultCosts(), KindMutable, ImplAdapt(KindMutable, KindCohort, 2))
+			if err != nil {
+				panic(err)
+			}
+			return l
+		}},
 	}
 }
 
@@ -50,6 +61,13 @@ func runLockWorkload(t testing.TB, cfg sim.Config, b lockBuilder, nThreads, nIte
 	t.Helper()
 	sys := cthreads.New(cfg)
 	sys.Engine().SetBatchedSpins(batched)
+	return driveLockWorkload(t, sys, cfg, b, nThreads, nIters)
+}
+
+// driveLockWorkload runs the workload on an already-configured system
+// (engine modes set by the caller) and fingerprints the run.
+func driveLockWorkload(t testing.TB, sys *cthreads.System, cfg sim.Config, b lockBuilder, nThreads, nIters int) lockFingerprint {
+	t.Helper()
 	l := b.build(sys)
 	var fp lockFingerprint
 	for i := 0; i < nThreads; i++ {
@@ -65,7 +83,7 @@ func runLockWorkload(t testing.TB, cfg sim.Config, b lockBuilder, nThreads, nIte
 		})
 	}
 	if err := sys.Run(); err != nil {
-		t.Fatalf("%s batched=%v: %v", b.name, batched, err)
+		t.Fatalf("%s: %v", b.name, err)
 	}
 	fp.FinalNow = sys.Now()
 	fp.Lock = l.Stats()

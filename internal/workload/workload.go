@@ -59,6 +59,22 @@ func AdvisoryStrategy() Strategy {
 	}}
 }
 
+// MutableStrategy uses the predictive mutable lock: each waiter chooses
+// spin, spin-then-block, or block from the monitored hold-time estimate.
+func MutableStrategy() Strategy {
+	return Strategy{Name: "mutable", Make: func(sys *cthreads.System, node int, costs locks.Costs) locks.Lock {
+		return locks.NewMutableLock(sys, node, "mutable", costs)
+	}}
+}
+
+// CohortStrategy uses the NUMA cohort lock: releases hand off within the
+// releasing node while the fairness budget allows.
+func CohortStrategy() Strategy {
+	return Strategy{Name: "cohort", Make: func(sys *cthreads.System, node int, costs locks.Costs) locks.Lock {
+		return locks.NewCohortLock(sys, node, "cohort", costs)
+	}}
+}
+
 // hintedLock is a lock whose owner can declare its expected hold time.
 type hintedLock interface {
 	locks.Lock
