@@ -30,8 +30,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Coverage gates: internal/profile is the observability tentpole and
-# internal/locks carries the predictive/cohort lock kinds; each package's
+# Coverage gates: internal/profile is the observability tentpole,
+# internal/locks carries the predictive/cohort lock kinds, and
+# internal/active holds the asynchronous monitor protocol; each package's
 # statement coverage must stay at or above 80% (measured across the whole
 # test suite — their exercisers live in sim, cthreads, workload, and
 # experiments tests too).
@@ -44,7 +45,11 @@ cover:
 	@$(GO) tool cover -func=cover_locks.out | tail -1
 	@pct="$$($(GO) tool cover -func=cover_locks.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
 	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/locks at %s%%, need >= 80%%\n", p; exit 1 } }'
-	@rm -f cover.out cover_locks.out
+	$(GO) test -coverprofile=cover_active.out -coverpkg=./internal/active ./internal/... > /dev/null
+	@$(GO) tool cover -func=cover_active.out | tail -1
+	@pct="$$($(GO) tool cover -func=cover_active.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/active at %s%%, need >= 80%%\n", p; exit 1 } }'
+	@rm -f cover.out cover_locks.out cover_active.out
 
 # Benchmark baseline: engine micro-benchmarks at full benchtime plus the
 # paper-table macro benchmarks at one iteration each (their sim-* metrics

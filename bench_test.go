@@ -466,3 +466,38 @@ func BenchmarkLockContended(b *testing.B) {
 		}
 	}
 }
+
+// benchMonitorHotspot reports one execution mode of the contended-hotspot
+// monitor benchmark: callers threads hammer one monitor with short
+// methods. The simulated completion time and method-latency percentiles
+// are the deterministic metrics; the tentpole claim is the p99 cut of the
+// combining modes at high caller counts.
+func benchMonitorHotspot(b *testing.B, mode string) {
+	for _, callers := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("c%d", callers), func(b *testing.B) {
+			var row experiments.MonitorHotspotRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = experiments.MonitorHotspotRun(sim.Config{}, mode, callers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.Elapsed.Micros(), "sim-µs-elapsed")
+			b.ReportMetric(row.P50.Micros(), "sim-µs-p50")
+			b.ReportMetric(row.P99.Micros(), "sim-µs-p99")
+			b.ReportMetric(float64(row.MaxBatch), "sim-max-batch")
+		})
+	}
+}
+
+// BenchmarkMonitorSync is the synchronous-locking baseline through the
+// monitor entry path.
+func BenchmarkMonitorSync(b *testing.B) { benchMonitorHotspot(b, "sync") }
+
+// BenchmarkMonitorAsync is flat combining: submitters enqueue futures and
+// an elected lock holder drains the queue in batches.
+func BenchmarkMonitorAsync(b *testing.B) { benchMonitorHotspot(b, "flat") }
+
+// BenchmarkMonitorCombining is the dedicated server-thread combiner.
+func BenchmarkMonitorCombining(b *testing.B) { benchMonitorHotspot(b, "server") }

@@ -4,6 +4,11 @@
 // and many waiters (the policy backs off to pure blocking), and a light
 // phase (the policy climbs back). It prints the spin-time attribute over
 // virtual time, one row per monitor sample.
+//
+// With -monitor it instead demonstrates the adaptive execution-mode
+// monitor: the contended-hotspot sweep (sync vs. flat-combining vs.
+// server execution) and the calm → storm → calm phase run whose sensor
+// switches one monitor sync→async and back.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cthreads"
+	"repro/internal/experiments"
 	"repro/internal/locks"
 	"repro/internal/sim"
 )
@@ -24,6 +30,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adaptdemo: ")
 	procs := cli.ProcsFlag(flag.CommandLine, 8)
+	monitor := flag.Bool("monitor", false,
+		"demo the adaptive execution-mode monitor (hotspot sweep + phase-switch run) instead of the lock feedback loop")
+	jobs := cli.JobsFlag(flag.CommandLine)
 	shards := cli.ShardsFlag(flag.CommandLine)
 	tf := cli.TraceFlags(flag.CommandLine)
 	obs := cli.ObserveFlags(flag.CommandLine)
@@ -42,6 +51,33 @@ func main() {
 		log.Fatal(err)
 	}
 	defer prof.Stop()
+
+	if *monitor {
+		// The monitor sweeps build their own systems per measurement and
+		// carry no observer plumbing (like figures outside -fig 1 and
+		// lockbench -calib); reject rather than silently drop the flags.
+		if tf.Path != "" || obs.Enabled() {
+			log.Fatalf("-trace/-profile-vt/-ledger are not supported with -monitor (the exec-mode switches are printed in the phase report; the ledger path is exercised by tspbench -impl central -ledger)")
+		}
+		machine := sim.Config{}
+		if *procs > 0 {
+			machine.Nodes = *procs
+		}
+		hot, err := experiments.MonitorHotspot(machine, *jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderMonitorHotspot(hot))
+		rep, err := experiments.MonitorPhases(machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderMonitorPhases(rep))
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	sys := cthreads.New(sim.Config{Nodes: *procs})
 	tracer := tf.Tracer()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lockbench [-table 4|5|6|7|8|all] [-lock KIND] [-calib] [-iters N] [-procs N] [-j N]
+//	lockbench [-table 4|5|6|7|8|all] [-lock KIND] [-calib] [-wait-latency] [-iters N] [-procs N] [-j N]
 //	          [-trace FILE] [-trace-reports] [-profile-vt FILE] [-ledger FILE]
 //	          [-shards 1]   (the tables time synchronous lock handoffs; only 1 is legal)
 package main
@@ -29,6 +29,8 @@ func main() {
 		"restrict Tables 4/5 to one lock kind (valid kinds: "+strings.Join(locks.KindNames(), ", ")+")")
 	calib := flag.Bool("calib", false,
 		"also print the mutable lock's predicted-vs-actual wait calibration report")
+	waitLatency := flag.Bool("wait-latency", false,
+		"also print per-acquisition wait-latency digests (p50/p99/p999) per lock kind under contention")
 	iters := flag.Int("iters", 16, "repetitions per measured operation")
 	procs := cli.ProcsFlag(flag.CommandLine, 0)
 	jobs := cli.JobsFlag(flag.CommandLine)
@@ -119,6 +121,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RenderMutableCalibration(rows))
+		printed = true
+	}
+	if *waitLatency {
+		rows, err := experiments.WaitLatencySweep(opts.Machine, *jobs, opts.Kinds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderWaitLatency(rows))
 		printed = true
 	}
 	if !printed {

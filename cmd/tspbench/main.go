@@ -7,6 +7,7 @@
 //
 //	tspbench [-impl central|dist|distlb|all] [-cities N] [-seed S]
 //	         [-searchers N] [-uniform] [-steps N] [-patterns] [-j N]
+//	         [-async-queue]
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 	steps := flag.Int("steps", 0, "instruction steps per expansion work unit (0 = calibrated default)")
 	patterns := flag.Bool("patterns", false, "also print Figures 4-9 locking patterns")
 	scaling := flag.Bool("scaling", false, "also sweep searcher counts (gain vs. processors)")
+	asyncQueue := flag.Bool("async-queue", false,
+		"also compare shared-queue execution modes (off, sync, flat, server, adaptive) on the centralized organization")
 	file := flag.String("file", "", "TSPLIB file (EUC_2D or FULL_MATRIX) to solve instead of a generated instance")
 	csvdir := flag.String("csvdir", "", "with -patterns, also write each figure's series as CSV into this directory")
 	jobs := cli.JobsFlag(flag.CommandLine)
@@ -127,6 +130,14 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RenderScaling(rows))
+	}
+
+	if *asyncQueue {
+		rows, err := experiments.TSPAsyncQueue(opts, *jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderTSPAsyncQueue(rows))
 	}
 
 	if *patterns {

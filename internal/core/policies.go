@@ -106,3 +106,41 @@ func (p SchedulerAdapt) React(s Sample, o *Object) []Decision {
 	}
 	return []Decision{{Method: p.Method, Variant: want}}
 }
+
+// ExecModeAdapt switches a monitor between synchronous and asynchronous
+// execution off a contention sensor: when the sensed value (e.g. queued or
+// waiting method calls) climbs to AsyncAt, batched asynchronous execution
+// is installed; when it falls back to SyncAt, direct synchronous execution
+// returns. The two thresholds form a hysteresis band (set AsyncAt >
+// SyncAt) so a value hovering at one boundary does not flap the mode.
+// Execution mode is just another adjustable implementation choice, per
+// the "Adjusted Objects" framing.
+type ExecModeAdapt struct {
+	// Attr is the mutable execution-mode attribute (active.AttrExecMode).
+	Attr string
+	// Sync and Async are the attribute values for the two modes
+	// (typically 0 and 1).
+	Sync, Async int64
+	// AsyncAt is the sensed value at (or above) which Async is installed;
+	// SyncAt the value at (or below) which Sync is restored.
+	AsyncAt, SyncAt int64
+}
+
+// React implements Policy.
+func (p ExecModeAdapt) React(s Sample, o *Object) []Decision {
+	cur, err := o.Attrs.Get(p.Attr)
+	if err != nil {
+		return nil
+	}
+	want := cur
+	switch {
+	case s.Value >= p.AsyncAt:
+		want = p.Async
+	case s.Value <= p.SyncAt:
+		want = p.Sync
+	}
+	if want == cur {
+		return nil
+	}
+	return []Decision{{Attr: p.Attr, Value: want}}
+}

@@ -160,6 +160,36 @@ func (s *System) SetLedger(l *core.Ledger) { s.ledger = l }
 // nil ledger is safe to append to, so callers need not check.
 func (s *System) Ledger() *core.Ledger { return s.ledger }
 
+// WireObject routes an adaptive object's feedback loop into the system
+// tracer (samples entering the loop and reconfigurations applied, Ψ) and
+// into the adaptation decision ledger. The hooks resolve the tracer and
+// ledger at fire time, so attaching either after object creation works;
+// with neither attached they cost a few nil checks per sample/apply.
+// Every lock and monitor kind that embeds a core.Object wires it through
+// here.
+func (s *System) WireObject(obj *core.Object, name string) {
+	obj.OnSample(func(sm core.Sample) {
+		tr := s.tracer
+		if tr == nil {
+			return
+		}
+		now := s.eng.Now()
+		tr.Emit(trace.Event{At: now, Kind: trace.KindSample, Proc: -1, Thread: -1,
+			Name: name, A: int64(now), B: sm.Value})
+	})
+	obj.OnApply(func(d core.Decision, by core.OwnerID, err error) {
+		tr := s.tracer
+		if tr == nil || err != nil {
+			return
+		}
+		tr.Emit(trace.Event{At: s.eng.Now(), Kind: trace.KindReconfig, Proc: -1, Thread: -1,
+			Name: name, Extra: d.String(), A: d.Value})
+	})
+	obj.SetLedgerSource(
+		func() *core.Ledger { return s.ledger },
+		func() int64 { return int64(s.eng.Now()) })
+}
+
 // traceThread records one thread-lifecycle event.
 func (s *System) traceThread(kind trace.Kind, t *Thread, name string, a int64) {
 	if s.tracer == nil {

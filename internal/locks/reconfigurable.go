@@ -4,7 +4,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // Attribute names of the reconfigurable/adaptive lock's waiting policy
@@ -73,32 +72,11 @@ func NewReconfigurableLock(sys *cthreads.System, node int, name string, costs Co
 }
 
 // wireObservability routes an adaptive object's feedback loop into the
-// system tracer (samples entering the loop and reconfigurations applied, Ψ)
-// and into the adaptation decision ledger. The hooks resolve the tracer and
-// ledger at fire time, so attaching either after lock creation works; with
-// neither attached they cost a few nil checks per sample/apply. Every lock
-// kind that embeds a core.Object wires it through here.
+// system tracer and the adaptation decision ledger. Kept as a thin
+// package-local alias for cthreads.System.WireObject, which monitors and
+// other core.Object embedders share.
 func wireObservability(sys *cthreads.System, obj *core.Object, name string) {
-	obj.OnSample(func(s core.Sample) {
-		tr := sys.Tracer()
-		if tr == nil {
-			return
-		}
-		now := sys.Now()
-		tr.Emit(trace.Event{At: now, Kind: trace.KindSample, Proc: -1, Thread: -1,
-			Name: name, A: int64(now), B: s.Value})
-	})
-	obj.OnApply(func(d core.Decision, by core.OwnerID, err error) {
-		tr := sys.Tracer()
-		if tr == nil || err != nil {
-			return
-		}
-		tr.Emit(trace.Event{At: sys.Now(), Kind: trace.KindReconfig, Proc: -1, Thread: -1,
-			Name: name, Extra: d.String(), A: d.Value})
-	})
-	obj.SetLedgerSource(
-		func() *core.Ledger { return sys.Ledger() },
-		func() int64 { return int64(sys.Now()) })
+	sys.WireObject(obj, name)
 }
 
 // Object exposes the underlying adaptive object (attributes, methods,

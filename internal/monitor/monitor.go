@@ -11,6 +11,13 @@
 // measurable: experiments.CouplingComparison drives the same adaptation
 // policy once through the closely-coupled inline monitor and once through
 // this pipeline, and reports the decision lag and the performance cost.
+//
+// The same judgement carries to the asynchronous monitors of
+// internal/active: their no-of-concurrent-methods sensor is probed inline
+// at Invoke entry, because an exec-mode switch is only worth making while
+// the contention burst that justifies it is still in progress — routed
+// through this pipeline, the decision would trail the burst by the
+// collection period plus the monitor thread's scheduling delay.
 package monitor
 
 import (

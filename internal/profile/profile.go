@@ -12,8 +12,11 @@
 // sections ("cs:l"), sleeps inside a lock ("wait:l"), spin loops
 // ("spin:l", including batched fast-forwarded spins — the fast-forward
 // commits the same virtual duration the iterations would have cost, so
-// the spin frame absorbs it exactly), barrier polls ("poll:b"), and the
-// inline adaptation step ("adapt:l"). Time is charged on every
+// the spin frame absorbs it exactly), barrier polls ("poll:b"), the
+// inline adaptation step ("adapt:l"), and the active monitor's
+// asynchronous execution path ("submit:m" around enqueue and combiner
+// election, "combine:m" around a combiner's batch dispatch, "future:m"
+// while a caller is blocked on its future). Time is charged on every
 // transition: when the base or the frame stack changes at virtual time t,
 // the interval since the previous transition is added to the accumulator
 // keyed by the outgoing (thread;base;frames) string. Unlike the tracer,

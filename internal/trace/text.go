@@ -66,6 +66,18 @@ func detail(ev Event) string {
 		return fmt.Sprintf("sensor=%d value=%d", ev.B, ev.A)
 	case KindMonitorDeliver:
 		return fmt.Sprintf("value=%d lag=%dns", ev.B, int64(ev.At)-ev.A)
+	case KindSubmit:
+		s := fmt.Sprintf("%s depth=%d", ev.Name, ev.A)
+		if ev.B != 0 {
+			s += " self-combine"
+		}
+		return s
+	case KindCombine:
+		s := fmt.Sprintf("%s batch=%d", ev.Name, ev.A)
+		if ev.B != 0 {
+			s += " server"
+		}
+		return s
 	default:
 		return ""
 	}

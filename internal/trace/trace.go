@@ -84,6 +84,17 @@ const (
 	// sensed value.
 	KindMonitorDeliver
 
+	// KindSubmit: a caller submitted a method to an active monitor's
+	// pending queue and received a future. Name is the monitor; A is the
+	// queue depth after the enqueue; B is 1 when the submitter went on to
+	// combine the batch itself.
+	KindSubmit
+	// KindCombine: a combiner (lock holder or server thread) drained one
+	// batch of pending methods. Name is the monitor; A is the number of
+	// methods executed in the batch; B is 1 when the combiner was the
+	// dedicated server thread.
+	KindCombine
+
 	kindCount // number of kinds; keep last
 )
 
@@ -103,6 +114,8 @@ var kindNames = [kindCount]string{
 	KindReconfig:       "reconfig",
 	KindMonitorRecord:  "mon-record",
 	KindMonitorDeliver: "mon-deliver",
+	KindSubmit:         "mon-submit",
+	KindCombine:        "mon-combine",
 }
 
 // String returns the kind's name.

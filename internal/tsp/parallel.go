@@ -3,6 +3,7 @@ package tsp
 import (
 	"fmt"
 
+	"repro/internal/active"
 	"repro/internal/core"
 	"repro/internal/cthreads"
 	"repro/internal/locks"
@@ -61,6 +62,15 @@ type Config struct {
 	QueueOpAccesses int
 	// PollInterval is the idle searcher's re-check period.
 	PollInterval sim.Time
+	// AsyncQueue routes the centralized shared work queue through an
+	// active.Monitor instead of raw lock/unlock around each queue op.
+	// "" (the default) leaves the original path untouched — byte-identical
+	// to the seed. "sync" runs queue methods synchronously through the
+	// monitor (measures pure monitor overhead); "flat" and "server"
+	// execute them asynchronously with the respective combiner; "adaptive"
+	// starts synchronous and lets core.ExecModeAdapt switch per phase off
+	// the concurrency sensor. Centralized organization only.
+	AsyncQueue string
 	// RecordPatterns enables waiting-thread series per lock (Figures 4–9).
 	RecordPatterns bool
 	// Tracer, when non-nil, records the solve's thread, lock, and
@@ -94,6 +104,14 @@ type Result struct {
 	FinalSpin map[string]int64
 	// Sched reports thread-package counters.
 	Sched cthreads.Stats
+	// QueueLatency is the shared-queue method-completion latency digest
+	// (submission/entry to body completion) when Config.AsyncQueue is
+	// set; nil otherwise.
+	QueueLatency *metrics.Histogram
+	// QueueMonitor reports the active monitor's counters when
+	// Config.AsyncQueue is set (submits, batches, mode switches seen as
+	// sync-vs-async call splits).
+	QueueMonitor active.Stats
 }
 
 // withDefaults validates and fills the configuration.
@@ -134,7 +152,29 @@ func (c Config) withDefaults() (Config, error) {
 	default:
 		return c, fmt.Errorf("tsp: unknown organization %q", c.Org)
 	}
+	switch c.AsyncQueue {
+	case "", AsyncQueueSync, AsyncQueueFlat, AsyncQueueServer, AsyncQueueAdaptive:
+	default:
+		return c, fmt.Errorf("tsp: unknown AsyncQueue mode %q (want %q, %q, %q, %q, or empty)",
+			c.AsyncQueue, AsyncQueueSync, AsyncQueueFlat, AsyncQueueServer, AsyncQueueAdaptive)
+	}
+	if c.AsyncQueue != "" && c.Org != OrgCentralized {
+		return c, fmt.Errorf("tsp: AsyncQueue requires the centralized organization (its single shared queue is the contended monitor); got %q", c.Org)
+	}
 	return c, nil
+}
+
+// AsyncQueue modes (Config.AsyncQueue).
+const (
+	AsyncQueueSync     = "sync"
+	AsyncQueueFlat     = "flat"
+	AsyncQueueServer   = "server"
+	AsyncQueueAdaptive = "adaptive"
+)
+
+// AsyncQueueModes lists the valid non-empty Config.AsyncQueue values.
+func AsyncQueueModes() []string {
+	return []string{AsyncQueueSync, AsyncQueueFlat, AsyncQueueServer, AsyncQueueAdaptive}
 }
 
 // solver is the shared state of one parallel run.
@@ -156,6 +196,10 @@ type solver struct {
 
 	doneCell *sim.Cell
 	globLock locks.Lock
+
+	// qmon wraps the centralized queue's lock in an active monitor when
+	// Config.AsyncQueue is set; nil on the untouched original path.
+	qmon *active.Monitor
 
 	// trueBest mirrors the best tour cost known anywhere, for useless-work
 	// accounting only (not visible to simulated code).
@@ -190,10 +234,22 @@ func Solve(cfg Config) (Result, error) {
 	// program does this before forking, §4).
 	s.queues[0].push(NewRoot(cfg.Instance))
 
+	searchers := make([]*cthreads.Thread, cfg.Searchers)
 	for i := 0; i < cfg.Searchers; i++ {
 		i := i
-		s.sys.Fork(i, fmt.Sprintf("searcher%d", i), func(t *cthreads.Thread) {
+		searchers[i] = s.sys.Fork(i, fmt.Sprintf("searcher%d", i), func(t *cthreads.Thread) {
 			s.search(t, i)
+		})
+	}
+	if s.qmon != nil {
+		// The monitor's server thread (if its combiner ever runs) never
+		// exits on its own; a closer joins the searchers and shuts it
+		// down. A no-op when the server was never forked.
+		s.sys.Fork(0, "qmon-closer", func(t *cthreads.Thread) {
+			for _, w := range searchers {
+				t.Join(w)
+			}
+			s.qmon.Shutdown(t)
 		})
 	}
 	if err := s.sys.Run(); err != nil {
@@ -252,6 +308,36 @@ func (s *solver) build() {
 	s.globLock = mkLock(LockGlobal, 0)
 	s.activeCell = s.sys.Machine().NewCell(0, "active", uint64(cfg.Searchers))
 	s.doneCell = s.sys.Machine().NewCell(0, "done", 0)
+
+	if cfg.AsyncQueue != "" {
+		// Wrap the centralized queue's own lock, so mutual exclusion —
+		// and lock-level stats — stay on qlock whichever mode runs.
+		mc := active.Config{Node: 0, Name: "qmon", Lock: s.qlocks[0], Costs: *cfg.Costs}
+		switch cfg.AsyncQueue {
+		case AsyncQueueFlat:
+			mc.ExecMode = active.ExecAsync
+		case AsyncQueueServer:
+			mc.ExecMode = active.ExecAsync
+			mc.Combiner = active.CombinerServer
+			// Dedicate a processor beyond the searchers' when the machine
+			// has one: processors are not preempted, so a server sharing
+			// node 0 with a searcher only runs while that searcher is off
+			// the processor.
+			if s.sys.Procs() > cfg.Searchers {
+				mc.ServerNode = cfg.Searchers
+			}
+		case AsyncQueueAdaptive:
+			mc.ExecMode = active.ExecSync
+			mc.SensorEvery = 2
+		}
+		s.qmon = active.New(s.sys, mc)
+		if cfg.AsyncQueue == AsyncQueueAdaptive {
+			s.qmon.Object().SetPolicy(core.ExecModeAdapt{
+				Attr: active.AttrExecMode, Sync: active.ExecSync, Async: active.ExecAsync,
+				AsyncAt: 4, SyncAt: 1,
+			})
+		}
+	}
 }
 
 // observe attaches a waiting-thread series to a lock; per-node qlock
@@ -299,6 +385,14 @@ func (s *solver) bestFor(me int) *sim.Cell {
 func (s *solver) getWork(t *cthreads.Thread, me int) *Node {
 	switch s.cfg.Org {
 	case OrgCentralized:
+		if s.qmon != nil {
+			var n *Node
+			s.qmon.Invoke(t, func(bt *cthreads.Thread) {
+				s.chargeQueueOp(bt, 0)
+				n = s.queues[0].pop()
+			})
+			return n
+		}
 		s.qlocks[0].Lock(t)
 		s.chargeQueueOp(t, 0)
 		n := s.queues[0].pop()
@@ -363,6 +457,13 @@ func (s *solver) putWork(t *cthreads.Thread, me int, n *Node) {
 	q := 0
 	if s.dist {
 		q = me
+	}
+	if s.qmon != nil {
+		s.qmon.Invoke(t, func(bt *cthreads.Thread) {
+			s.chargeQueueOp(bt, 0)
+			s.queues[0].push(n)
+		})
+		return
 	}
 	s.qlocks[q].Lock(t)
 	s.chargeQueueOp(t, q)
@@ -480,6 +581,14 @@ func (s *solver) idle(t *cthreads.Thread) bool {
 			return true
 		}
 		t.Advance(s.cfg.PollInterval)
+		if s.qmon != nil {
+			// The monitor's combiner threads may share this searcher's
+			// processor; without preemption an unyielding poll loop would
+			// starve them (and with them the futures the still-active
+			// searchers are blocked on). Only the monitor modes fork such
+			// threads, so the baseline path stays charge-identical.
+			t.Yield()
+		}
 	}
 }
 
@@ -531,6 +640,10 @@ func (s *solver) result() (Result, error) {
 		if al, ok := l.(*locks.AdaptiveLock); ok {
 			res.FinalSpin[l.Name()] = al.Object().Attrs.MustGet(locks.AttrSpinTime)
 		}
+	}
+	if s.qmon != nil {
+		res.QueueLatency = s.qmon.Latency()
+		res.QueueMonitor = s.qmon.Stats()
 	}
 	return res, nil
 }
