@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint fmt-check test race cover bench bench-compare experiments clean
+.PHONY: all build vet lint lint-allows fmt-check test race cover bench bench-compare experiments clean
 
 all: build vet lint fmt-check test
 
@@ -15,10 +15,21 @@ vet:
 # Simlint: the repo's own static-analysis suite (internal/analysis),
 # run through the standard vet driver so package loading, caching, and
 # diagnostics all come from the toolchain. See DESIGN.md "Statically
-# enforced invariants".
+# enforced invariants". The timing line makes analyzer-cost regressions
+# visible in CI logs (the flow-sensitive analyzers build a CFG per
+# function; a blowup shows up here long before it hurts locally).
 lint:
 	$(GO) build -o bin/simlint ./cmd/simlint
-	$(GO) vet -vettool=bin/simlint ./...
+	@start=$$(date +%s); \
+	  $(GO) vet -vettool=bin/simlint ./...; rc=$$?; \
+	  end=$$(date +%s); echo "simlint: whole-tree lint took $$((end - start))s"; \
+	  exit $$rc
+
+# Audit //simlint:allow directives: fails on malformed ones and on stale
+# ones (suppressions whose analyzer no longer fires at that position).
+lint-allows:
+	$(GO) build -o bin/simlint ./cmd/simlint
+	./bin/simlint -allows ./...
 
 # Formatting gate: fails (listing the offenders) if any file needs gofmt.
 fmt-check:
@@ -31,10 +42,12 @@ race:
 	$(GO) test -race ./...
 
 # Coverage gates: internal/profile is the observability tentpole,
-# internal/locks carries the predictive/cohort lock kinds, and
-# internal/active holds the asynchronous monitor protocol; each package's
-# statement coverage must stay at or above 80% (measured across the whole
-# test suite — their exercisers live in sim, cthreads, workload, and
+# internal/locks carries the predictive/cohort lock kinds,
+# internal/active holds the asynchronous monitor protocol, and
+# internal/analysis (with its framework) is the static-analysis suite
+# whose correctness the lint gate leans on; each package's statement
+# coverage must stay at or above 80% (measured across the whole test
+# suite — their exercisers live in sim, cthreads, workload, and
 # experiments tests too).
 cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./internal/profile ./internal/... > /dev/null
@@ -49,7 +62,11 @@ cover:
 	@$(GO) tool cover -func=cover_active.out | tail -1
 	@pct="$$($(GO) tool cover -func=cover_active.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
 	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/active at %s%%, need >= 80%%\n", p; exit 1 } }'
-	@rm -f cover.out cover_locks.out cover_active.out
+	$(GO) test -coverprofile=cover_analysis.out -coverpkg=./internal/analysis/... ./internal/analysis/... > /dev/null
+	@$(GO) tool cover -func=cover_analysis.out | tail -1
+	@pct="$$($(GO) tool cover -func=cover_analysis.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	  awk -v p="$$pct" 'BEGIN { if (p+0 < 80) { printf "coverage gate: internal/analysis at %s%%, need >= 80%%\n", p; exit 1 } }'
+	@rm -f cover.out cover_locks.out cover_active.out cover_analysis.out
 
 # Benchmark baseline: engine micro-benchmarks at full benchtime plus the
 # paper-table macro benchmarks at one iteration each (their sim-* metrics

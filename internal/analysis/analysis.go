@@ -26,6 +26,9 @@ func All() []*framework.Analyzer {
 		Virtualtime,
 		Seqadvance,
 		Crossshard,
+		Framebalance,
+		Lockpair,
+		Chargepath,
 	}
 }
 
@@ -37,6 +40,7 @@ var simulatedPkgs = map[string]bool{
 	"sim":          true,
 	"cthreads":     true,
 	"locks":        true,
+	"active":       true,
 	"core":         true,
 	"monitor":      true,
 	"tsp":          true,

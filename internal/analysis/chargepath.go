@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Chargepath keeps simulated state honest about virtual time: an
+// exported method on a simulated object (sim.Cell, the active monitor
+// and future, the adaptive-policy monitor) that mutates its receiver
+// must charge virtual time — a machine access, an Advance, a lock
+// operation — on every path that mutates. A mutation that costs nothing
+// is a free operation the paper's cost model has no row for, and free
+// operations are how attribution drift starts. Pure accessors pass
+// automatically: the rule is mutated ⇒ charged per path, so a path that
+// mutates nothing owes nothing.
+var Chargepath = &framework.Analyzer{
+	Name: "chargepath",
+	Doc: "report exported methods on simulated state that mutate the " +
+		"receiver without charging virtual time on every mutating path",
+	Run: runChargepath,
+}
+
+// chargeTargets maps package-path base to the receiver type names whose
+// exported methods operate on simulated state.
+var chargeTargets = map[string]map[string]bool{
+	"sim":     {"Cell": true},
+	"active":  {"Monitor": true, "Future": true},
+	"monitor": {"Local": true},
+}
+
+// chargingNames are callee names that always advance (or synchronize
+// with) the virtual clock, whichever package defines them: machine
+// accesses, thread-time primitives, lock protocol entry points, and the
+// scheduler blocking calls.
+var chargingNames = map[string]bool{
+	"Advance": true, "Compute": true, "Charge": true,
+	"Load": true, "Store": true, "AtomicOr": true, "AtomicAdd": true,
+	"CompareAndSwap": true, "Post": true,
+	"Lock": true, "LockHint": true, "Unlock": true,
+	"Acquire": true, "Release": true,
+	"Block": true, "BlockTimeout": true, "Wake": true, "Join": true,
+	"Yield": true, "Probe": true,
+}
+
+func runChargepath(pass *framework.Pass) error {
+	targets := chargeTargets[framework.PathBase(pass.Path)]
+	if len(targets) == 0 {
+		return nil
+	}
+
+	summaries := chargeSummaries(pass)
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvType, recvObj := receiverOf(pass, fd)
+			if recvObj == nil || !targets[recvType] {
+				continue
+			}
+			checkChargePath(pass, fd, recvType, recvObj, summaries)
+		}
+	}
+	return nil
+}
+
+// receiverOf resolves a method's receiver type name and variable
+// object; the object is nil for unnamed receivers (which cannot mutate).
+func receiverOf(pass *framework.Pass, fd *ast.FuncDecl) (string, types.Object) {
+	if len(fd.Recv.List) != 1 {
+		return "", nil
+	}
+	field := fd.Recv.List[0]
+	t := pass.TypesInfo.Types[field.Type].Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil {
+		return "", nil
+	}
+	if len(field.Names) != 1 || field.Names[0].Name == "_" {
+		return n.Obj().Name(), nil
+	}
+	return n.Obj().Name(), pass.TypesInfo.Defs[field.Names[0]]
+}
+
+// chargeState is one (mutated, charged) path condition; chargeFact is
+// the set of conditions of the paths reaching a point, as a 4-bit mask.
+type chargeFact uint8
+
+const (
+	stCharged  = 1 // low condition bit: has this path charged?
+	stMutated  = 2 // high condition bit: has this path mutated the receiver?
+	chargeInit = chargeFact(1 << 0)
+)
+
+func (f chargeFact) apply(bit int) chargeFact {
+	var out chargeFact
+	for s := 0; s < 4; s++ {
+		if f&(1<<s) != 0 {
+			out |= 1 << (s | bit)
+		}
+	}
+	return out
+}
+
+func joinCharge(a, b framework.Fact) framework.Fact {
+	return a.(chargeFact) | b.(chargeFact)
+}
+
+func equalCharge(a, b framework.Fact) bool {
+	return a.(chargeFact) == b.(chargeFact)
+}
+
+// charges reports whether call advances virtual time, either through a
+// trusted primitive name or a package-local callee known to charge on
+// all paths.
+func charges(pass *framework.Pass, summaries map[*types.Func]bool, call *ast.CallExpr) bool {
+	if chargingNames[calleeName(call)] {
+		return true
+	}
+	fn := pkgFuncObj(pass.TypesInfo, call)
+	return fn != nil && summaries[fn]
+}
+
+// rootedInReceiver reports whether e is a selector/index/dereference
+// chain anchored at the receiver variable (c.v, m.pending[id], *c.ptr).
+// A bare mention of the receiver itself is not a mutation of simulated
+// state.
+func rootedInReceiver(info *types.Info, recv types.Object, e ast.Expr) bool {
+	steps := 0
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e, steps = x.X, steps+1
+		case *ast.IndexExpr:
+			e, steps = x.X, steps+1
+		case *ast.StarExpr:
+			e, steps = x.X, steps+1
+		case *ast.Ident:
+			return steps > 0 && info.Uses[x] == recv
+		default:
+			return false
+		}
+	}
+}
+
+// scanChargeEvents walks n (not descending into function literals) and
+// invokes mutate/charge for each receiver mutation and charging call in
+// traversal order.
+func scanChargeEvents(pass *framework.Pass, recv types.Object, summaries map[*types.Func]bool,
+	n ast.Node, event func(bit int)) {
+	info := pass.TypesInfo
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if rootedInReceiver(info, recv, lhs) {
+					event(stMutated)
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootedInReceiver(info, recv, x.X) {
+				event(stMutated)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" &&
+				len(x.Args) > 0 && rootedInReceiver(info, recv, x.Args[0]) {
+				event(stMutated)
+				return true
+			}
+			if charges(pass, summaries, x) {
+				event(stCharged)
+			}
+		}
+		return true
+	})
+}
+
+// checkChargePath runs the pair-set dataflow over one exported method
+// and reports if any normal exit path mutated without charging.
+func checkChargePath(pass *framework.Pass, fd *ast.FuncDecl, recvType string,
+	recv types.Object, summaries map[*types.Func]bool) {
+	cfg := framework.BuildCFG(fd.Body, framework.CFGOptions{})
+	res := framework.Solve(cfg, &framework.FlowProblem{
+		Entry: chargeInit,
+		Transfer: func(b *framework.Block, in framework.Fact) framework.Fact {
+			f := in.(chargeFact)
+			for _, n := range b.Nodes {
+				scanChargeEvents(pass, recv, summaries, n, func(bit int) {
+					f = f.apply(bit)
+				})
+			}
+			return f
+		},
+		Join:  joinCharge,
+		Equal: equalCharge,
+	})
+	exit, _ := res.ExitFact().(chargeFact)
+	if exit&(1<<stMutated) != 0 { // state (mutated, uncharged) reachable at return
+		pass.Reportf(fd.Name.Pos(),
+			"exported method %s.%s mutates simulated state without charging virtual time on every mutating path",
+			recvType, fd.Name.Name)
+	}
+}
+
+// chargeSummaries computes, for every function in the package, whether
+// it charges virtual time on all paths to a normal return
+// (charged-on-all-paths, join = AND). Summaries start false and flip
+// monotonically to true over a fixpoint, so mutually recursive helpers
+// settle conservatively.
+func chargeSummaries(pass *framework.Pass) map[*types.Func]bool {
+	type entry struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+		cfg  *framework.CFG
+	}
+	var fns []entry
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fns = append(fns, entry{obj, fd.Body, framework.BuildCFG(fd.Body, framework.CFGOptions{})})
+		}
+	}
+
+	summaries := make(map[*types.Func]bool, len(fns))
+	type boolFact bool
+	for changed := true; changed; {
+		changed = false
+		for _, e := range fns {
+			if summaries[e.obj] {
+				continue
+			}
+			res := framework.Solve(e.cfg, &framework.FlowProblem{
+				Entry: boolFact(false),
+				Transfer: func(b *framework.Block, in framework.Fact) framework.Fact {
+					charged := bool(in.(boolFact))
+					if !charged {
+						for _, n := range b.Nodes {
+							scanCalls(n, func(call *ast.CallExpr) {
+								if charges(pass, summaries, call) {
+									charged = true
+								}
+							})
+						}
+					}
+					return boolFact(charged)
+				},
+				Join: func(a, b framework.Fact) framework.Fact {
+					return boolFact(bool(a.(boolFact)) && bool(b.(boolFact)))
+				},
+				Equal: func(a, b framework.Fact) bool { return a == b },
+			})
+			// A function with no normal exit charges vacuously.
+			all := true
+			if f, ok := res.ExitFact().(boolFact); ok {
+				all = bool(f)
+			}
+			if all {
+				summaries[e.obj] = true
+				changed = true
+			}
+		}
+	}
+	return summaries
+}

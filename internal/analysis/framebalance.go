@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Framebalance proves the profiler's conservation invariant by
+// construction: every profile frame pushed in a function body is popped
+// on every path out of it, or on none. The check is path-consistency,
+// not zero-balance: protocol helpers legitimately carry a frame across
+// function boundaries (locks' observe pushes "Lock:" which acquired
+// later pops), so a *consistent* nonzero net is legal — what the
+// analyzer rejects is a frame whose net count differs between two exit
+// paths, which is exactly how the PR 9 combiner bug leaked a "submit:"
+// frame on its error path and broke Total() == end - Registered().
+var Framebalance = &framework.Analyzer{
+	Name: "framebalance",
+	Doc: "report profile frames whose push/pop balance differs between " +
+		"paths out of a function",
+	Run: runFramebalance,
+}
+
+func runFramebalance(pass *framework.Pass) error {
+	// Package-wide first sightings of each frame key as a push and as a
+	// pop. Path-consistency below is per-function and cannot see a
+	// protocol whose push and pop live in different helpers (observe
+	// pushes "Lock:", acquired pops it); pairing the sites at package
+	// level closes that hole: deleting the only pop of a frame leaves
+	// every function self-consistent but the key one-sided here.
+	pushed, popped := map[string]token.Pos{}, map[string]token.Pos{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, fn := range functionsIn(f) {
+			checkFrameBalance(pass, fn, pushed, popped)
+		}
+	}
+	for _, k := range sortedKeys(keySet(pushed)) {
+		if _, ok := popped[k]; !ok {
+			pass.Reportf(pushed[k],
+				"profile frame %s is pushed but popped nowhere in this package: the conservation invariant cannot hold",
+				k)
+		}
+	}
+	for _, k := range sortedKeys(keySet(popped)) {
+		if _, ok := pushed[k]; !ok {
+			pass.Reportf(popped[k],
+				"profile frame %s is popped but pushed nowhere in this package",
+				k)
+		}
+	}
+	return nil
+}
+
+func keySet[V any](m map[string]V) map[string]bool {
+	s := make(map[string]bool, len(m))
+	for k := range m {
+		s[k] = true
+	}
+	return s
+}
+
+// frameEvent classifies a call as a frame push (+1) or pop (-1) of a
+// canonical frame key, or neither (delta 0).
+func frameEvent(pass *framework.Pass, aliases aliasMap, call *ast.CallExpr) (key string, delta int) {
+	name := calleeName(call)
+	switch name {
+	case "Push":
+		delta = 1
+	case "Pop":
+		delta = -1
+	default:
+		return "", 0
+	}
+	recv := callReceiver(call)
+	if recv == nil || len(call.Args) < 2 {
+		return "", 0
+	}
+	if !namedFrom(pass.TypesInfo.Types[recv].Type, "profile", "ThreadProf") {
+		return "", 0
+	}
+	return aliases.exprKey(pass.TypesInfo, call.Args[1]), delta
+}
+
+func checkFrameBalance(pass *framework.Pass, fn funcUnit, pushed, popped map[string]token.Pos) {
+	aliases := collectAliases(pass.TypesInfo, fn.body)
+
+	// First sweep: does this body touch frames at all, and where is each
+	// key's first event (the diagnostic anchor)?
+	firstPos := map[string]token.Pos{}
+	scanCalls(fn.body, func(call *ast.CallExpr) {
+		if key, delta := frameEvent(pass, aliases, call); delta != 0 {
+			if _, seen := firstPos[key]; !seen {
+				firstPos[key] = call.Pos()
+			}
+			side := pushed
+			if delta < 0 {
+				side = popped
+			}
+			qkey := aliases.qualifiedKey(pass.TypesInfo, call.Args[1])
+			if _, seen := side[qkey]; !seen {
+				side[qkey] = call.Pos()
+			}
+		}
+	})
+	if len(firstPos) == 0 {
+		return
+	}
+
+	// The profiler nil-guard idiom (`if p := t.Prof(); p != nil { ... }`)
+	// wraps every push and pop independently; whether a profiler is
+	// attached is fixed for a whole run, so the guards' outcomes
+	// correlate and collapsing them is sound (see DESIGN.md).
+	cfg := framework.BuildCFG(fn.body, framework.CFGOptions{CollapseNilGuards: true})
+	res := framework.Solve(cfg, &framework.FlowProblem{
+		Entry: balanceFact{},
+		Transfer: func(b *framework.Block, in framework.Fact) framework.Fact {
+			f := in.(balanceFact)
+			out, cloned := f, false
+			for _, n := range b.Nodes {
+				scanCalls(n, func(call *ast.CallExpr) {
+					key, delta := frameEvent(pass, aliases, call)
+					if delta == 0 {
+						return
+					}
+					if !cloned {
+						out, cloned = f.clone(), true
+					}
+					out[key] = out.get(key).add(delta)
+				})
+			}
+			return out
+		},
+		Join:  joinBalance,
+		Equal: equalBalance,
+	})
+
+	exit := res.ExitFact()
+	if exit == nil {
+		return // no normal exit: a combiner loop or always-panicking body
+	}
+	keys := make([]string, 0, len(firstPos))
+	for k := range firstPos {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		iv := exit.(balanceFact).get(k)
+		if iv.lo != iv.hi {
+			pass.Reportf(firstPos[k],
+				"profile frame %s is balanced on some paths out of %s but not all (net %s at return)",
+				k, fn.name, rangeString(iv))
+		}
+	}
+}
+
+func rangeString(iv intv) string {
+	return fmt.Sprintf("%d..%d", iv.lo, iv.hi)
+}

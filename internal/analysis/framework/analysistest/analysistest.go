@@ -79,6 +79,26 @@ func Run(t *testing.T, testdata, pkgpath string, analyzers ...*framework.Analyze
 	}
 }
 
+// Load type-checks testdata/src/<pkgpath> exactly as Run does, without
+// applying analyzers — for tests that drive framework entry points
+// (framework.AuditAllows, framework.RunAnalyzers) directly.
+func Load(t *testing.T, testdata, pkgpath string) *framework.Package {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	dir := filepath.Join(root, pkgpath)
+	files, err := fixtureFiles(dir, true)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+	fset := token.NewFileSet()
+	imp := &srcImporter{fset: fset, root: root, pkgs: make(map[string]*types.Package)}
+	pkg, err := framework.Check(fset, pkgpath, dir, files, imp)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgpath, err)
+	}
+	return pkg
+}
+
 // want is one expectation: a regexp that must match a diagnostic
 // message reported at file:line.
 type want struct {

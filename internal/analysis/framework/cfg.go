@@ -1,0 +1,512 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the intraprocedural control-flow graph of one function body,
+// built purely over go/ast (the module vendors no x/tools, so
+// golang.org/x/tools/go/cfg is unavailable). Blocks hold statements and
+// the key decision expressions in execution order; edges cover the
+// structured constructs plus labeled break/continue, goto, switch
+// fallthrough, and explicit panic/os.Exit termination.
+//
+// Two synthetic blocks bound every graph: Exit collects every normal way
+// out of the function (each return statement and falling off the end),
+// and Panic collects the abnormal ones (an explicit panic(...) or
+// os.Exit(...) call ends its path there). Analyzers that enforce
+// "on all paths out of the function" properties check the join over
+// Exit's predecessors and leave Panic unconstrained: a panicking
+// simulation is already dead, so an unbalanced frame or an unreleased
+// lock on that path cannot corrupt a run that continues (see DESIGN.md
+// "Statically enforced invariants" for the legality argument).
+//
+// A runtime panic can of course escape from any statement, not only from
+// explicit panic calls; the analyzers built on this graph check
+// invariants of the simulator's own protocols, which never recover, so
+// modeling only explicit termination is sound for them.
+type CFG struct {
+	// Entry is the block control enters the function through.
+	Entry *Block
+	// Exit is the synthetic normal-exit block: every return statement
+	// and the fall-off-the-end path lead here. It holds no nodes.
+	Exit *Block
+	// Panic is the synthetic abnormal-exit block fed by explicit
+	// panic(...) and os.Exit(...) calls. It holds no nodes.
+	Panic *Block
+	// Blocks lists every block in creation order (deterministic for a
+	// given body). Entry is Blocks[0], Exit Blocks[1], Panic Blocks[2].
+	Blocks []*Block
+}
+
+// Block is one straight-line run of statements: control enters at the
+// first node and leaves through one of Succs after the last.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the block's statements and decision expressions in
+	// execution order. Condition expressions of if/for/switch appear as
+	// bare ast.Expr nodes; everything else is the ast.Stmt itself.
+	Nodes []ast.Node
+	// Succs are the possible successors in deterministic order
+	// (then-branch before else-branch, loop body before loop exit,
+	// switch cases in source order).
+	Succs []*Block
+}
+
+// CFGOptions adjusts graph construction.
+type CFGOptions struct {
+	// CollapseNilGuards treats a one-armed `if x != nil { ... }`
+	// (optionally with an init statement, as in
+	// `if p := t.Prof(); p != nil { ... }`) as straight-line code: the
+	// guarded body executes unconditionally. The profiler's instruments
+	// are emitted behind exactly this idiom, and whether the profiler is
+	// attached is fixed for a whole run — so the skip path can never be
+	// taken on one site and not another, and modeling it would report
+	// every correctly-paired Push/Pop as path-dependent.
+	CollapseNilGuards bool
+}
+
+// BuildCFG constructs the control-flow graph of body.
+func BuildCFG(body *ast.BlockStmt, opts CFGOptions) *CFG {
+	b := &cfgBuilder{opts: opts, labels: map[string]*cfgLabel{}}
+	b.cfg = &CFG{}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.Panic = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmt(body)
+	b.jump(b.cfg.Exit) // falling off the end is a normal exit
+	return b.cfg
+}
+
+// cfgLabel tracks one label: the block its statement starts in (the goto
+// and continue target) and, when it labels a breakable construct, where
+// a labeled break lands.
+type cfgLabel struct {
+	target  *Block
+	breakTo *Block
+	contTo  *Block
+}
+
+// loopCtx is one enclosing breakable construct. contTo is nil for
+// switch/select (continue skips them and binds to the enclosing loop).
+type loopCtx struct {
+	label   string
+	breakTo *Block
+	contTo  *Block
+}
+
+type cfgBuilder struct {
+	cfg  *CFG
+	opts CFGOptions
+	// cur is the block under construction; nil after a terminator
+	// (return/panic/goto/break), meaning following code is unreachable.
+	cur    *Block
+	loops  []loopCtx
+	labels map[string]*cfgLabel
+	// pendingLabel carries a label name from a LabeledStmt to the
+	// breakable construct it labels.
+	pendingLabel string
+	// fallTarget is the next case body, the destination of a
+	// fallthrough statement inside the current switch case.
+	fallTarget *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// jump connects the current block to then, then marks the path ended.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to)
+		b.cur = nil
+	}
+}
+
+// start resumes construction in bl.
+func (b *cfgBuilder) start(bl *Block) { b.cur = bl }
+
+// add appends a node to the current block, opening a fresh (unreachable)
+// block when the path was terminated — dead code after a return still
+// gets blocks, they just have no predecessors.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// label returns (creating on demand, for forward gotos) the record of
+// one label.
+func (b *cfgBuilder) label(name string) *cfgLabel {
+	l := b.labels[name]
+	if l == nil {
+		l = &cfgLabel{target: b.newBlock()}
+		b.labels[name] = l
+	}
+	return l
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// isNilGuard reports whether cond is the `x != nil` comparison
+// CollapseNilGuards applies to.
+func isNilGuard(cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return isNil(bin.X) != isNil(bin.Y)
+}
+
+// collapsible reports whether every statement in body is straight-line:
+// no returns, branches, panics, or nested control flow. Only such
+// bodies are safe to inline when collapsing nil guards — inlining
+// `if err != nil { panic(...) }` would make every path terminate.
+func collapsible(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if terminates(s) {
+				return false
+			}
+		case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt,
+			*ast.DeferStmt, *ast.GoStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// terminates reports whether s is a call that never returns: an explicit
+// panic or os.Exit.
+func terminates(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminates(s) {
+			b.jump(b.cfg.Panic)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.LabeledStmt:
+		l := b.label(s.Label.Name)
+		b.jump(l.target)
+		b.start(l.target)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	if b.opts.CollapseNilGuards && s.Else == nil && isNilGuard(s.Cond) && collapsible(s.Body) {
+		b.stmt(s.Body)
+		return
+	}
+	cond := b.cur
+	after := b.newBlock()
+	then := b.newBlock()
+	b.edge(cond, then)
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock()
+		b.edge(cond, els)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = nil
+	b.start(then)
+	b.stmt(s.Body)
+	b.jump(after)
+	if s.Else != nil {
+		b.start(els)
+		b.stmt(s.Else)
+		b.jump(after)
+	}
+	b.start(after)
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.jump(head)
+	b.start(head)
+	body := b.newBlock()
+	after := b.newBlock()
+	var post *Block
+	contTo := head
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(b.cur, body)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(b.cur, body)
+	}
+	b.cur = nil
+
+	if label != "" {
+		l := b.label(label)
+		l.breakTo, l.contTo = after, contTo
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after, contTo: contTo})
+	b.start(body)
+	b.stmt(s.Body)
+	b.jump(contTo)
+	b.loops = b.loops[:len(b.loops)-1]
+
+	if post != nil {
+		b.start(post)
+		b.stmt(s.Post)
+		b.jump(head)
+	}
+	b.start(after)
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock()
+	b.jump(head)
+	b.start(head)
+	b.add(s) // the per-iteration key/value assignment
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, body)
+	b.edge(b.cur, after)
+	b.cur = nil
+
+	if label != "" {
+		l := b.label(label)
+		l.breakTo, l.contTo = after, head
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after, contTo: head})
+	b.start(body)
+	b.stmt(s.Body)
+	b.jump(head)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.start(after)
+}
+
+// switchStmt builds expression and type switches: the head evaluates
+// init and the tag (or the type-switch assign), then branches to every
+// case body (plus straight to the after-block when there is no default
+// case). A trailing fallthrough continues into the next case's body.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = nil
+
+	if label != "" {
+		b.label(label).breakTo = after
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	savedFall := b.fallTarget
+	for i, c := range clauses {
+		b.start(bodies[i])
+		for _, e := range c.List {
+			b.add(e)
+		}
+		if i+1 < len(bodies) {
+			b.fallTarget = bodies[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		for _, st := range c.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	b.fallTarget = savedFall
+	b.loops = b.loops[:len(b.loops)-1]
+	b.start(after)
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.cur = nil
+
+	if label != "" {
+		b.label(label).breakTo = after
+	}
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cl := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.start(blk)
+		if cl.Comm != nil {
+			b.stmt(cl.Comm)
+		}
+		for _, st := range cl.Body {
+			b.stmt(st)
+		}
+		b.jump(after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if len(s.Body.List) == 0 {
+		b.edge(head, after) // empty select blocks forever; keep the graph connected
+	}
+	b.start(after)
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if name != "" {
+			if l := b.labels[name]; l != nil && l.breakTo != nil {
+				b.jump(l.breakTo)
+				return
+			}
+		}
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if name == "" || b.loops[i].label == name {
+				b.jump(b.loops[i].breakTo)
+				return
+			}
+		}
+		b.cur = nil // malformed program; sever the path
+
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].contTo == nil {
+				continue // switch/select: continue binds past them
+			}
+			if name == "" || b.loops[i].label == name {
+				b.jump(b.loops[i].contTo)
+				return
+			}
+		}
+		b.cur = nil
+
+	case token.GOTO:
+		b.jump(b.label(name).target)
+
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.jump(b.fallTarget)
+		} else {
+			b.cur = nil
+		}
+	}
+}

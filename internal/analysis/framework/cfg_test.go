@@ -1,0 +1,348 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// The CFG tests drive BuildCFG + Solve through a miniature balance
+// analysis: calls named push()/pop() count ±1, and the exit fact is the
+// joined interval of possible net counts over every normal exit path.
+// That exercises exactly what the simlint analyzers need from the
+// framework — merge joins, loop fixpoints, panic/return/goto edges —
+// without depending on type information.
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+type interval struct{ lo, hi int }
+
+func clampTest(v int) int {
+	if v > 8 {
+		return 8
+	}
+	if v < -8 {
+		return -8
+	}
+	return v
+}
+
+// exitInterval builds the CFG of body and returns the exit interval of
+// the push/pop balance; ok is false when no path reaches a normal exit.
+func exitInterval(t *testing.T, body string, opts CFGOptions) (interval, bool) {
+	t.Helper()
+	cfg := BuildCFG(parseBody(t, body), opts)
+	res := Solve(cfg, &FlowProblem{
+		Entry: interval{},
+		Transfer: func(b *Block, in Fact) Fact {
+			iv := in.(interval)
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false
+					}
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "push":
+							iv = interval{clampTest(iv.lo + 1), clampTest(iv.hi + 1)}
+						case "pop":
+							iv = interval{clampTest(iv.lo - 1), clampTest(iv.hi - 1)}
+						}
+					}
+					return true
+				})
+			}
+			return iv
+		},
+		Join: func(a, b Fact) Fact {
+			x, y := a.(interval), b.(interval)
+			return interval{min(x.lo, y.lo), max(x.hi, y.hi)}
+		},
+		Equal: func(a, b Fact) bool { return a == b },
+	})
+	out, ok := res.ExitFact().(interval)
+	return out, ok
+}
+
+func wantExit(t *testing.T, body string, opts CFGOptions, want interval) {
+	t.Helper()
+	got, ok := exitInterval(t, body, opts)
+	if !ok {
+		t.Fatalf("no normal exit; want %v\nbody:\n%s", want, body)
+	}
+	if got != want {
+		t.Errorf("exit interval %v, want %v\nbody:\n%s", got, want, body)
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	// The pop after return is unreachable: it must not count toward any
+	// exit path, and its block must stay fact-free.
+	body := `
+	push()
+	pop()
+	return
+	pop()`
+	wantExit(t, body, CFGOptions{}, interval{0, 0})
+
+	cfg := BuildCFG(parseBody(t, body), CFGOptions{})
+	res := Solve(cfg, &FlowProblem{
+		Entry:    struct{}{},
+		Transfer: func(b *Block, in Fact) Fact { return in },
+		Join:     func(a, b Fact) Fact { return a },
+		Equal:    func(a, b Fact) bool { return true },
+	})
+	dead := 0
+	for _, b := range cfg.Blocks {
+		if res.In[b.Index] == nil && b != cfg.Panic && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("expected an unreachable block holding the dead pop")
+	}
+}
+
+func TestEarlyReturnImbalance(t *testing.T) {
+	wantExit(t, `
+	push()
+	if cond {
+		return
+	}
+	pop()`, CFGOptions{}, interval{0, 1})
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	// Balanced: every path around the labeled continue and out through
+	// the labeled break pops what it pushed.
+	wantExit(t, `
+outer:
+	for i := 0; i < n; i++ {
+		push()
+		for j := 0; j < i; j++ {
+			if skip(j) {
+				pop()
+				continue outer
+			}
+			if done(j) {
+				pop()
+				break outer
+			}
+		}
+		pop()
+	}`, CFGOptions{}, interval{0, 0})
+
+	// The labeled break path forgets to pop: interval widens.
+	wantExit(t, `
+outer:
+	for i := 0; i < n; i++ {
+		push()
+		for j := 0; j < i; j++ {
+			if done(j) {
+				break outer
+			}
+		}
+		pop()
+	}`, CFGOptions{}, interval{0, 1})
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	// case 0 pushes and falls through into case 1's pop. The three
+	// paths: fallthrough (push,pop = 0), direct case 1 entry (-1), and
+	// no match (0). Without the fallthrough edge the first path would
+	// leak (+1), so the interval pins the edge's existence.
+	wantExit(t, `
+	switch mode {
+	case 0:
+		push()
+		fallthrough
+	case 1:
+		pop()
+	}`, CFGOptions{}, interval{-1, 0})
+
+	// Without the fallthrough pop, case 0's push leaks.
+	wantExit(t, `
+	switch mode {
+	case 0:
+		push()
+	case 1:
+		push()
+		pop()
+	}`, CFGOptions{}, interval{0, 1})
+
+	// A default arm means the head cannot skip every case.
+	wantExit(t, `
+	switch mode {
+	case 0:
+		push()
+	default:
+		push()
+	}`, CFGOptions{}, interval{1, 1})
+}
+
+func TestDeferPop(t *testing.T) {
+	// A deferred pop is modeled at the defer site and therefore covers
+	// every subsequent path — including the early return.
+	wantExit(t, `
+	defer pop()
+	push()
+	if cond {
+		return
+	}
+	work()`, CFGOptions{}, interval{0, 0})
+}
+
+func TestPanicEdges(t *testing.T) {
+	// The panic path exits through the Panic block, not Exit, so its
+	// un-popped push does not widen the exit interval.
+	wantExit(t, `
+	push()
+	if bad {
+		panic("dead")
+	}
+	pop()`, CFGOptions{}, interval{0, 0})
+
+	// os.Exit is terminal the same way.
+	wantExit(t, `
+	push()
+	if bad {
+		os.Exit(1)
+	}
+	pop()`, CFGOptions{}, interval{0, 0})
+
+	// A body that always panics has no normal exit at all.
+	if _, ok := exitInterval(t, `
+	push()
+	panic("always")`, CFGOptions{}); ok {
+		t.Error("always-panicking body should have no normal exit fact")
+	}
+}
+
+func TestInfiniteLoop(t *testing.T) {
+	if _, ok := exitInterval(t, `
+	for {
+		push()
+		pop()
+	}`, CFGOptions{}); ok {
+		t.Error("for{} body should have no normal exit fact")
+	}
+	// A conditional break restores the exit.
+	wantExit(t, `
+	for {
+		push()
+		if done() {
+			pop()
+			break
+		}
+		pop()
+	}`, CFGOptions{}, interval{0, 0})
+}
+
+func TestGoto(t *testing.T) {
+	// The forward goto jumps over the pop.
+	wantExit(t, `
+	push()
+	if cond {
+		goto out
+	}
+	pop()
+out:
+	work()`, CFGOptions{}, interval{0, 1})
+
+	// A backward goto forms a loop; the clamp keeps the fixpoint finite
+	// while still showing accumulation.
+	got, ok := exitInterval(t, `
+again:
+	push()
+	if more() {
+		goto again
+	}`, CFGOptions{})
+	if !ok || got.lo != 1 || got.hi <= got.lo {
+		t.Errorf("backward-goto accumulation: got %v ok=%v, want lo=1 and hi>lo", got, ok)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	wantExit(t, `
+	push()
+	select {
+	case <-a:
+		pop()
+	case <-b:
+		pop()
+	}`, CFGOptions{}, interval{0, 0})
+
+	wantExit(t, `
+	push()
+	select {
+	case <-a:
+		pop()
+	default:
+	}`, CFGOptions{}, interval{0, 1})
+}
+
+func TestRangeLoop(t *testing.T) {
+	wantExit(t, `
+	for _, v := range xs {
+		push()
+		use(v)
+		pop()
+	}`, CFGOptions{}, interval{0, 0})
+}
+
+func TestTypeSwitch(t *testing.T) {
+	wantExit(t, `
+	switch v := x.(type) {
+	case int:
+		push()
+		use(v)
+		pop()
+	case string:
+		push()
+	}`, CFGOptions{}, interval{0, 1})
+}
+
+func TestCollapseNilGuards(t *testing.T) {
+	guarded := `
+	if p := prof(); p != nil {
+		push()
+	}
+	if p := prof(); p != nil {
+		pop()
+	}`
+	// Modeled precisely, the two independent guards yield four paths
+	// and an interval of -1..1.
+	wantExit(t, guarded, CFGOptions{}, interval{-1, 1})
+	// Collapsed, both bodies run unconditionally: exactly balanced.
+	wantExit(t, guarded, CFGOptions{CollapseNilGuards: true}, interval{0, 0})
+
+	// A guard body that can transfer control out must NOT collapse:
+	// inlining `if err != nil { panic(...) }` would kill every path.
+	wantExit(t, `
+	push()
+	if err != nil {
+		panic("boom")
+	}
+	pop()`, CFGOptions{CollapseNilGuards: true}, interval{0, 0})
+
+	// Same for a guarded early return.
+	wantExit(t, `
+	push()
+	if err != nil {
+		return
+	}
+	pop()`, CFGOptions{CollapseNilGuards: true}, interval{0, 1})
+}

@@ -133,14 +133,9 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 	return ds
 }
 
-// RunAnalyzers applies every analyzer to pkg and returns the surviving
-// diagnostics: findings covered by a well-formed //simlint:allow
-// directive (same line or the line immediately above, naming the
-// analyzer, with a non-empty reason) are dropped, and malformed
-// directives — a missing reason, or a name that matches no analyzer —
-// are themselves reported under the "simlint" name. Diagnostics are
-// returned in file/position order.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// rawDiagnostics applies every analyzer to pkg with no directive
+// processing: every finding is returned, suppressed or not.
+func rawDiagnostics(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -155,6 +150,21 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := pass.Analyzer.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
 		}
+	}
+	return diags, nil
+}
+
+// RunAnalyzers applies every analyzer to pkg and returns the surviving
+// diagnostics: findings covered by a well-formed //simlint:allow
+// directive (same line or the line immediately above, naming the
+// analyzer, with a non-empty reason) are dropped, and malformed
+// directives — a missing reason, or a name that matches no analyzer —
+// are themselves reported under the "simlint" name. Diagnostics are
+// returned in file/position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := rawDiagnostics(pkg, analyzers)
+	if err != nil {
+		return nil, err
 	}
 
 	known := make(map[string]bool, len(analyzers))
@@ -212,6 +222,75 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
 	return kept, nil
+}
+
+// Allow is one //simlint:allow directive, classified by AuditAllows.
+type Allow struct {
+	// Pos is the directive comment's position.
+	Pos token.Pos
+	// Analyzer and Reason are the parsed directive fields.
+	Analyzer string
+	Reason   string
+	// Malformed explains why the directive is invalid ("" when valid):
+	// an unknown analyzer name or a missing reason.
+	Malformed string
+	// Stale reports that the directive suppresses nothing: with
+	// directives ignored, the named analyzer reports no diagnostic on
+	// the directive's line or the line below it. A stale allow is a
+	// suppression that outlived its finding and must be deleted, or it
+	// will silently swallow the next real finding at that position.
+	Stale bool
+}
+
+// AuditAllows lists every //simlint:allow directive in pkg, classifying
+// each as malformed, stale, or live. Results are in file/position order.
+func AuditAllows(pkg *Package, analyzers []*Analyzer) ([]Allow, error) {
+	diags, err := rawDiagnostics(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	// Index raw findings by (file, line, analyzer).
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	at := make(map[key]bool, len(diags))
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		at[key{p.Filename, p.Line, d.Analyzer}] = true
+	}
+
+	var allows []Allow
+	for _, f := range pkg.Files {
+		for _, d := range parseDirectives(pkg.Fset, f) {
+			a := Allow{Pos: d.pos, Analyzer: d.analyzer, Reason: d.reason}
+			file := pkg.Fset.Position(d.pos).Filename
+			switch {
+			case !known[d.analyzer]:
+				a.Malformed = fmt.Sprintf("unknown analyzer %q", d.analyzer)
+			case d.reason == "":
+				a.Malformed = "missing mandatory reason (\"-- <why>\")"
+			default:
+				// A directive covers its own line and the next one.
+				a.Stale = !at[key{file, d.line, d.analyzer}] &&
+					!at[key{file, d.line + 1, d.analyzer}]
+			}
+			allows = append(allows, a)
+		}
+	}
+	sort.Slice(allows, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(allows[i].Pos), pkg.Fset.Position(allows[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return allows, nil
 }
 
 // CleanPath strips a go list test-variant suffix ("pkg [pkg.test]")

@@ -1,0 +1,35 @@
+// Package a seeds the -allows audit fixture: one live suppression, one
+// stale suppression (nothing is reported at its position when
+// directives are ignored), and two malformed directives. TestAllowsAudit
+// asserts the classification; the stale seed proves detection works.
+package a
+
+import "framebalance/profile"
+
+type T struct {
+	prof  *profile.ThreadProf
+	frame string
+}
+
+// live: framebalance reports the early-return leak here when directives
+// are ignored, so the suppression is doing real work.
+func (t *T) live(fail bool) {
+	t.prof.Push(0, t.frame) //simlint:allow framebalance -- hand-off pops on the consumer side
+	if fail {
+		return
+	}
+	t.prof.Pop(0, t.frame)
+}
+
+// stale: the body is balanced, the analyzer reports nothing, and the
+// suppression silently waits to swallow the next real finding.
+func (t *T) stale() {
+	t.prof.Push(0, t.frame) //simlint:allow framebalance -- stale: this leak was fixed long ago
+	t.prof.Pop(0, t.frame)
+}
+
+// malformed: an unknown analyzer name, and a missing reason.
+func (t *T) malformed() {
+	t.prof.Push(0, t.frame) //simlint:allow nosuchanalyzer -- the analyzer name is wrong
+	t.prof.Pop(0, t.frame)  //simlint:allow framebalance
+}

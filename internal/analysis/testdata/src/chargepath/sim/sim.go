@@ -1,0 +1,76 @@
+// Package sim is the chargepath fixture: exported methods on Cell (the
+// target type, matched by package base + type name) must charge virtual
+// time on every path that mutates the receiver. The Machine stand-in
+// supplies the trusted charging primitive.
+package sim
+
+type Machine struct{}
+
+func (m *Machine) Advance(n int64) {}
+
+type Cell struct {
+	m    *Machine
+	v    uint64
+	hits int
+	tags map[string]bool
+}
+
+// Store charges then mutates on its only path: clean.
+func (c *Cell) Store(v uint64) {
+	c.m.Advance(1)
+	c.v = v
+}
+
+// Peek is a pure accessor: no mutation, nothing owed.
+func (c *Cell) Peek() uint64 { return c.v }
+
+// Bump charges only on the sampled path but mutates on both: the
+// (mutated, uncharged) pair survives to the exit join.
+func (c *Cell) Bump(sampled bool) { // want `exported method Cell\.Bump mutates simulated state without charging virtual time`
+	if sampled {
+		c.m.Advance(1)
+	}
+	c.hits++
+}
+
+// Drop mutates through the delete builtin and never charges.
+func (c *Cell) Drop(k string) { // want `exported method Cell\.Drop mutates simulated state without charging virtual time`
+	delete(c.tags, k)
+}
+
+// Add charges through a package-local helper: the charged-on-all-paths
+// summary must see through the call.
+func (c *Cell) Add(d uint64) {
+	c.charge()
+	c.v += d
+}
+
+func (c *Cell) charge() {
+	c.m.Advance(1)
+}
+
+// Reset only mutates on the path that also charges; the early return
+// mutates nothing and owes nothing.
+func (c *Cell) Reset(force bool) {
+	if !force {
+		return
+	}
+	c.m.Advance(1)
+	c.v = 0
+}
+
+// Poke is the documented setup-only escape hatch, suppressed with its
+// justification exactly as the real sim.Cell.Poke is.
+//
+//simlint:allow chargepath -- fixture mirror of the setup-only escape hatch
+func (c *Cell) Poke(v uint64) { c.v = v }
+
+// Validate panics on the mutating path instead of returning: panic
+// paths are unconstrained (a panicking simulation is dead), so nothing
+// is owed.
+func (c *Cell) Validate(limit uint64) {
+	if c.v > limit {
+		c.hits++
+		panic("sim: cell over limit")
+	}
+}

@@ -1,0 +1,90 @@
+// Positive, suppressed, and clean cases for framebalance.
+package a
+
+import "framebalance/profile"
+
+type T struct {
+	prof     *profile.ThreadProf
+	frameCS  string
+	frameOp  string
+	frameBad string
+}
+
+// leak pops on the fallthrough path but not on the early return: the
+// interval at exit is 0..1, which is exactly the class of bug the
+// conservation invariant catches only at runtime.
+func (t *T) leak(fail bool) {
+	if p := t.prof; p != nil {
+		p.Push(0, t.frameCS) // want `profile frame t\.frameCS is balanced on some paths out of leak but not all`
+	}
+	if fail {
+		return
+	}
+	if p := t.prof; p != nil {
+		p.Pop(0, t.frameCS)
+	}
+}
+
+// orphan pushes a frame no code in the package ever pops: consistent on
+// every path out of this function, so only the package-level pairing
+// check can see it.
+func (t *T) orphan() {
+	if p := t.prof; p != nil {
+		p.Push(0, t.frameBad) // want `profile frame T\.frameBad is pushed but popped nowhere in this package`
+	}
+}
+
+// handoff is the intentional-asymmetry case: the frame is popped by the
+// consumer, and the suppression carries the justification.
+func (t *T) handoff(fail bool) {
+	p := t.prof
+	p.Push(0, t.frameOp) //simlint:allow framebalance -- hand-off: takeover pops this frame on the consumer side
+	if fail {
+		return
+	}
+	p.Pop(0, t.frameOp)
+}
+
+// takeover is the matching consumer: a consistent net of -1 on every
+// path is legal (cross-function protocols balance at a wider scope).
+func (t *T) takeover() {
+	if p := t.prof; p != nil {
+		p.Pop(0, t.frameOp)
+	}
+}
+
+// clean exercises the CFG shapes that must not confuse the interval
+// dataflow: loops, switches with fallthrough, labeled continue, defer,
+// and a panic path that exits without popping (panic paths are
+// unconstrained: a panicking simulation is dead).
+func (t *T) clean(n int, mode int, fail bool) {
+	p := t.prof
+	defer p.Pop(0, t.frameCS)
+	p.Push(0, t.frameCS)
+
+	if fail {
+		panic("dead: the frame stays pushed, and that is fine")
+	}
+
+outer:
+	for i := 0; i < n; i++ {
+		p.Push(0, t.frameOp)
+		for j := 0; j < i; j++ {
+			if j == 3 {
+				p.Pop(0, t.frameOp)
+				continue outer
+			}
+		}
+		p.Pop(0, t.frameOp)
+	}
+
+	switch mode {
+	case 0:
+		p.Push(0, t.frameOp)
+		p.Pop(0, t.frameOp)
+		fallthrough
+	case 1:
+		return
+	default:
+	}
+}

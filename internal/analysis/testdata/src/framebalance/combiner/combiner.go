@@ -1,0 +1,51 @@
+// Package combiner mirrors the PR 9 active-monitor bug that motivated
+// framebalance: submit pushed its "submit:" frame, but the path that
+// failed the combiner election returned without popping, leaking the
+// frame and (at runtime) starving the server thread. The analyzer must
+// catch the missing pop on the error path statically.
+package combiner
+
+import "framebalance/profile"
+
+type Monitor struct {
+	prof        *profile.ThreadProf
+	frameSubmit string
+	pending     []func()
+}
+
+// submitBuggy reproduces the bug: the losing-election path returns
+// early, skipping the pop.
+func (m *Monitor) submitBuggy(body func(), elected bool) {
+	if p := m.prof; p != nil {
+		p.Push(0, m.frameSubmit) // want `profile frame m\.frameSubmit is balanced on some paths out of submitBuggy but not all`
+	}
+	m.pending = append(m.pending, body)
+	if !elected {
+		return // the PR 9 bug: frame never popped on this path
+	}
+	m.drain()
+	if p := m.prof; p != nil {
+		p.Pop(0, m.frameSubmit)
+	}
+}
+
+// submitFixed is the corrected protocol: every path out pops.
+func (m *Monitor) submitFixed(body func(), elected bool) {
+	if p := m.prof; p != nil {
+		p.Push(0, m.frameSubmit)
+	}
+	m.pending = append(m.pending, body)
+	if elected {
+		m.drain()
+	}
+	if p := m.prof; p != nil {
+		p.Pop(0, m.frameSubmit)
+	}
+}
+
+func (m *Monitor) drain() {
+	for _, body := range m.pending {
+		body()
+	}
+	m.pending = nil
+}

@@ -1,0 +1,9 @@
+// Package profile is the fixture stand-in for the real profiler: the
+// framebalance analyzer recognizes Push/Pop by the ThreadProf receiver
+// type, matched by package-path base and type name.
+package profile
+
+type ThreadProf struct{}
+
+func (tp *ThreadProf) Push(now int64, frame string) {}
+func (tp *ThreadProf) Pop(now int64, frame string)  {}

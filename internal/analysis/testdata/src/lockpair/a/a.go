@@ -1,0 +1,85 @@
+// Positive, suppressed, and clean cases for lockpair in client code.
+package a
+
+import "lockpair/locks"
+
+type S struct {
+	mu  *locks.Mutex
+	aux *locks.Mutex
+}
+
+// leak releases on the fallthrough path but not on the early return.
+func (s *S) leak(fail bool) {
+	s.mu.Lock(1) // want `lock s\.mu is released on some paths out of leak but not all`
+	if fail {
+		return
+	}
+	s.mu.Unlock(1)
+}
+
+// never acquires and returns still holding on every path; cleanupAux
+// below is the (deliberately disconnected) release site that keeps the
+// package-level pairing satisfied, isolating the per-function finding.
+func (s *S) never() {
+	s.aux.Lock(1) // want `lock s\.aux is acquired in never but never released on any path`
+}
+
+func (s *S) cleanupAux() {
+	s.aux.Unlock(1)
+}
+
+// handoff is the intentional asymmetry: the combiner releases on this
+// thread's behalf, and the suppression carries that justification.
+func (s *S) handoff(fail bool) {
+	s.mu.Lock(1) //simlint:allow lockpair -- hand-off: the elected combiner releases for us
+	if fail {
+		return
+	}
+	s.mu.Unlock(1)
+}
+
+// viaHelper acquires s.aux through a package-local helper while holding
+// s.mu: the interprocedural summary must see through the call and
+// record the mu -> aux ordering edge...
+func (s *S) viaHelper() {
+	s.mu.Lock(1)
+	s.helperAux() // want `lock-order cycle S\.aux -> S\.mu -> S\.aux can deadlock`
+	s.mu.Unlock(1)
+}
+
+func (s *S) helperAux() {
+	s.aux.Lock(1)
+	s.aux.Unlock(1)
+}
+
+// ...and reversed acquires them in the opposite order, closing the
+// cycle reported (once, at its earliest witness) above.
+func (s *S) reversed() {
+	s.aux.Lock(1)
+	s.mu.Lock(1)
+	s.mu.Unlock(1)
+	s.aux.Unlock(1)
+}
+
+// hinted is the type-assertion alias idiom: the acquire goes through
+// the narrowed interface, the release through the original, and alias
+// resolution pairs them on every path.
+func hinted(l locks.Locker, cs int) {
+	if hl, ok := l.(locks.Hinted); ok {
+		hl.LockHint(cs)
+	} else {
+		l.Lock(cs)
+	}
+	l.Unlock(cs)
+}
+
+// condWait is the condition-variable shape: release inside the loop,
+// reacquire before retesting; net zero on every path.
+func (s *S) condWait(ready func() bool) {
+	s.mu.Lock(1)
+	for !ready() {
+		s.mu.Unlock(1)
+		s.mu.Lock(1)
+	}
+	s.mu.Unlock(1)
+}

@@ -120,12 +120,16 @@ func NewLocal(sys *cthreads.System, cfg Config) *Local {
 
 // Subscribe registers a consumer of processed records. Must be called
 // before Start.
+//
+//simlint:allow chargepath -- pre-Start wiring, runs before the simulation clock exists
 func (m *Local) Subscribe(s Subscriber) { m.subs = append(m.subs, s) }
 
 // SetLedger attaches (or, with nil, detaches) an adaptation decision
 // ledger: each processed record appends one deliver entry carrying the
 // pipeline lag, making the loose coupling the paper's §3 discusses
 // directly auditable next to the closely-coupled decisions.
+//
+//simlint:allow chargepath -- pre-Start wiring, runs before the simulation clock exists
 func (m *Local) SetLedger(l *core.Ledger) { m.ledger = l }
 
 // Stats returns activity counters.
@@ -164,6 +168,8 @@ func (m *Local) Probe(t *cthreads.Thread, sensor int, value int64) {
 
 // RequestStop asks the monitor thread to exit once the ring drains. Safe
 // to call from any context (it is bookkeeping, not simulated state).
+//
+//simlint:allow chargepath -- stop flag is harness bookkeeping, not simulated state
 func (m *Local) RequestStop() { m.stop = true }
 
 // Stopped reports whether the monitor thread has exited.
@@ -172,6 +178,8 @@ func (m *Local) Stopped() bool { return m.stopped }
 // Start forks the monitor thread on its dedicated processor: it polls the
 // ring, charges per-record processing, forwards to the central monitor if
 // configured, and delivers each record to the subscribers.
+//
+//simlint:allow chargepath -- Fork bootstraps the thread that will do the charging
 func (m *Local) Start() *cthreads.Thread {
 	if m.thread != nil {
 		panic("monitor: Start called twice")

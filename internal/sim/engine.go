@@ -354,7 +354,6 @@ func (e *Engine) parkedReport() string {
 		name string
 	}
 	parked := make([]entry, 0, len(e.live))
-	//simlint:allow maporder -- entries are collected then sorted by spawn id; output is iteration-order independent
 	for c := range e.live {
 		parked = append(parked, entry{c.id, c.name})
 	}
