@@ -349,7 +349,16 @@ func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
 	head := b.newBlock()
 	b.jump(head)
 	b.start(head)
-	b.add(s) // the per-iteration key/value assignment
+	// Only the per-iteration key/value targets belong to the head.
+	// Adding the whole RangeStmt here would re-scan the loop body's
+	// calls in the head block — double-counting them against the body
+	// block and charging them to the zero-iteration exit path.
+	if s.Key != nil {
+		b.add(s.Key)
+	}
+	if s.Value != nil {
+		b.add(s.Value)
+	}
 	body := b.newBlock()
 	after := b.newBlock()
 	b.edge(b.cur, body)
@@ -389,9 +398,18 @@ func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, bo
 	head := b.cur
 	after := b.newBlock()
 
+	// Case expressions evaluate in the dispatch head, in source order,
+	// until one matches — not inside the body they select. A call in a
+	// case expression must therefore be visible on every path through
+	// the switch (including later cases and the no-match path), so all
+	// of them land in the head block.
 	var clauses []*ast.CaseClause
 	for _, c := range body.List {
-		clauses = append(clauses, c.(*ast.CaseClause))
+		cl := c.(*ast.CaseClause)
+		clauses = append(clauses, cl)
+		for _, e := range cl.List {
+			b.add(e)
+		}
 	}
 	bodies := make([]*Block, len(clauses))
 	hasDefault := false
@@ -414,9 +432,6 @@ func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, bo
 	savedFall := b.fallTarget
 	for i, c := range clauses {
 		b.start(bodies[i])
-		for _, e := range c.List {
-			b.add(e)
-		}
 		if i+1 < len(bodies) {
 			b.fallTarget = bodies[i+1]
 		} else {

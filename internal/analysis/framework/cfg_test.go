@@ -301,6 +301,46 @@ func TestRangeLoop(t *testing.T) {
 		use(v)
 		pop()
 	}`, CFGOptions{}, interval{0, 0})
+
+	// A balanced early-return search loop must solve to exactly {0,0}:
+	// the body's calls belong to the body block alone. Adding the whole
+	// RangeStmt to the loop head would re-count them there — once per
+	// head visit and on the zero-iteration path — skewing the interval
+	// negative.
+	wantExit(t, `
+	for _, v := range xs {
+		push()
+		if found(v) {
+			pop()
+			return
+		}
+		pop()
+	}`, CFGOptions{}, interval{0, 0})
+
+	// An unbalanced body accumulates through the back edge, but the
+	// zero-iteration path must pin the exit interval's low bound at 0.
+	got, ok := exitInterval(t, `
+	for _, v := range xs {
+		push()
+		use(v)
+	}`, CFGOptions{})
+	if !ok || got.lo != 0 || got.hi <= 0 {
+		t.Errorf("unbalanced range body: got %v ok=%v, want lo=0 and hi>0", got, ok)
+	}
+}
+
+func TestSwitchCaseExprInHead(t *testing.T) {
+	// Case expressions evaluate in the dispatch head until one matches,
+	// so the push inside case 1's expression is visible on every path
+	// through the switch — including case 0's body and the no-match
+	// path — and only case 1's body pops it.
+	wantExit(t, `
+	switch {
+	case quiet():
+		work()
+	case push() > 0:
+		pop()
+	}`, CFGOptions{}, interval{0, 1})
 }
 
 func TestTypeSwitch(t *testing.T) {

@@ -20,6 +20,13 @@ import (
 // are acquired while which others are held; a cycle in that graph is a
 // potential deadlock of exactly the shape PR 9's combiner starvation
 // took, reported statically.
+//
+// Defer is modeled per check: the pairing check credits a deferred
+// release at the defer site (a deferred call runs on every exit after
+// that point, so this is exact for the all-paths argument), while the
+// order analysis treats the lock as held until function exit — the
+// standard `mu.Lock(); defer mu.Unlock()` idiom must still contribute
+// held->acquired edges for everything acquired in the body.
 var Lockpair = &framework.Analyzer{
 	Name: "lockpair",
 	Doc: "report lock acquisitions that are not released on every path, " +
@@ -285,6 +292,16 @@ func lockOrderEdges(pass *framework.Pass, fns []*lockFn, summaries map[*types.Fu
 		transfer := func(b *framework.Block, in framework.Fact, rec bool) framework.Fact {
 			held := in.(holdFact).clone()
 			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					// A deferred Unlock/Release runs at function exit,
+					// not at the defer site: for order-edge purposes the
+					// lock stays held through the rest of the body, so
+					// an acquisition after `defer mu.Unlock()` still
+					// records the mu -> acquired edge. (The balance
+					// check keeps defer-at-site, which is exact for its
+					// all-paths argument; see DESIGN.md.)
+					continue
+				}
 				scanCalls(n, func(call *ast.CallExpr) {
 					if _, delta := lockEvent(pass, lf.aliases, call); delta != 0 {
 						node := lockNode(pass, lf.aliases, callReceiver(call))
@@ -296,7 +313,11 @@ func lockOrderEdges(pass *framework.Pass, fns []*lockFn, summaries map[*types.Fu
 						} else {
 							delete(held, node)
 						}
-						return
+						// Fall through: a lock-protocol callee can itself
+						// acquire further locks (a cohort Lock taking its
+						// NUMA-local lock), and those transitive
+						// acquisitions must be ordered against the held
+						// set too.
 					}
 					callee := pkgFuncObj(pass.TypesInfo, call)
 					if callee == nil {

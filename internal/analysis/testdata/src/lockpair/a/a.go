@@ -83,3 +83,27 @@ func (s *S) condWait(ready func() bool) {
 	}
 	s.mu.Unlock(1)
 }
+
+// D's methods hold their first lock via the standard defer-unlock
+// idiom. The deferred release runs at function exit, so for ordering
+// purposes the lock is held across everything the body acquires — a
+// defer-at-site model would empty the hold set immediately and miss
+// the cycle the two opposite orders form.
+type D struct {
+	front *locks.Mutex
+	back  *locks.Mutex
+}
+
+func (d *D) frontFirst() {
+	d.front.Lock(1)
+	defer d.front.Unlock(1)
+	d.back.Lock(1) // want `lock-order cycle D\.back -> D\.front -> D\.back can deadlock`
+	d.back.Unlock(1)
+}
+
+func (d *D) backFirst() {
+	d.back.Lock(1)
+	defer d.back.Unlock(1)
+	d.front.Lock(1)
+	d.front.Unlock(1)
+}
